@@ -1,0 +1,375 @@
+"""Ablation benches for the design choices the paper calls out.
+
+Each test regenerates one knob's comparison and asserts the qualitative
+claim the paper makes about it.
+"""
+
+import pytest
+
+from repro.bench.ablations import (
+    ablation_batch_io,
+    ablation_capabilities,
+    ablation_directory_policy,
+    ablation_nic_tlb,
+    ablation_ordma_hit_rate,
+    ablation_polling,
+    ablation_registration_cache,
+)
+from repro.params import default_params
+
+
+class TestPolling:
+    """Section 5.2: switching the DAFS server to polling lifts 4 KB
+    throughput to ~170 MB/s and shrinks the ODAFS gain to ~32%."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablation_polling(blocks_per_file=384)
+
+    def test_benchmark(self, benchmark):
+        out = benchmark.pedantic(ablation_polling,
+                                 kwargs={"blocks_per_file": 192},
+                                 rounds=1, iterations=1)
+        assert set(out) == {"interrupts", "polling"}
+
+    def test_polling_lifts_dafs(self, results):
+        assert results["polling"]["dafs_mb_s"] > \
+            results["interrupts"]["dafs_mb_s"] + 40.0
+
+    def test_polling_shrinks_odafs_gain(self, results):
+        assert results["polling"]["odafs_gain"] < \
+            0.5 * results["interrupts"]["odafs_gain"]
+        assert 0.20 < results["polling"]["odafs_gain"] < 0.45
+
+
+class TestORDMAHitRate:
+    """Section 4.2.2: with low server cache hit rates, ODAFS performance
+    collapses to DAFS — the ORDMA win is masked by disk latency."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablation_ordma_hit_rate(transactions=800)
+
+    def test_benchmark(self, benchmark):
+        out = benchmark.pedantic(
+            ablation_ordma_hit_rate,
+            kwargs={"transactions": 300,
+                    "server_cache_fractions": (1.0, 0.25)},
+            rounds=1, iterations=1)
+        assert 1.0 in out
+
+    def test_full_cache_keeps_the_gain(self, results):
+        assert results[1.0]["odafs_gain"] > 0.15
+
+    def test_small_cache_erases_the_gain(self, results):
+        assert abs(results[0.1]["odafs_gain"]) < 0.05
+
+    def test_fault_rate_rises_as_cache_shrinks(self, results):
+        fractions = sorted(results, reverse=True)
+        rates = [results[f]["ordma_fault_rate"] for f in fractions]
+        assert rates[0] < 0.05
+        assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))
+
+
+class TestDirectoryPolicy:
+    """Section 4.2: MQ fits the miss-filtered directory stream better
+    than LRU."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablation_directory_policy(transactions=2400)
+
+    def test_benchmark(self, benchmark):
+        out = benchmark.pedantic(ablation_directory_policy,
+                                 kwargs={"transactions": 800},
+                                 rounds=1, iterations=1)
+        assert set(out) == {"lru", "mq"}
+
+    def test_mq_beats_lru_on_directory_hits(self, results):
+        assert results["mq"]["directory_hit_ratio"] > \
+            results["lru"]["directory_hit_ratio"]
+
+    def test_mq_throughput_at_least_lru(self, results):
+        assert results["mq"]["txns_per_s"] >= \
+            0.995 * results["lru"]["txns_per_s"]
+
+
+class TestRegistrationCache:
+    """Sections 3/5.1: per-I/O registration costs client CPU and
+    throughput; caching registrations avoids it."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablation_registration_cache(blocks=256)
+
+    def test_benchmark(self, benchmark):
+        out = benchmark.pedantic(ablation_registration_cache,
+                                 kwargs={"blocks": 128},
+                                 rounds=1, iterations=1)
+        assert set(out) == {"cached", "per_io"}
+
+    def test_caching_saves_client_cpu(self, results):
+        assert results["cached"]["client_cpu"] < \
+            0.75 * results["per_io"]["client_cpu"]
+
+    def test_caching_does_not_hurt_throughput(self, results):
+        assert results["cached"]["throughput_mb_s"] >= \
+            results["per_io"]["throughput_mb_s"] - 1.0
+
+
+class TestNicTLB:
+    """Sections 4.1/4.2.2: ORDMA response time degrades when the working
+    set outgrows the NIC TLB."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablation_nic_tlb(n_blocks=192,
+                                tlb_sizes=(1 << 20, 256, 64))
+
+    def test_benchmark(self, benchmark):
+        out = benchmark.pedantic(
+            ablation_nic_tlb,
+            kwargs={"n_blocks": 64, "tlb_sizes": (1 << 20, 16)},
+            rounds=1, iterations=1)
+        assert (1 << 20) in out
+
+    def test_big_tlb_always_hits(self, results):
+        assert results[1 << 20]["tlb_hit_rate"] > 0.99
+
+    def test_response_time_degrades_with_small_tlb(self, results):
+        assert results[64]["mean_response_us"] > \
+            1.5 * results[1 << 20]["mean_response_us"]
+
+    def test_hit_rate_monotone_in_tlb_size(self, results):
+        sizes = sorted(results)
+        rates = [results[s]["tlb_hit_rate"] for s in sizes]
+        assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))
+
+
+class TestBatchIO:
+    """Section 2.2: batch I/O amortizes the client's per-I/O RPC cost."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablation_batch_io(total_reads=192)
+
+    def test_benchmark(self, benchmark):
+        out = benchmark.pedantic(ablation_batch_io,
+                                 kwargs={"total_reads": 64,
+                                         "batch_sizes": (1, 8)},
+                                 rounds=1, iterations=1)
+        assert 1 in out
+
+    def test_client_cpu_per_io_falls_with_batching(self, results):
+        sizes = sorted(results)
+        costs = [results[s]["client_us_per_io"] for s in sizes]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+        assert costs[-1] < 0.4 * costs[0]
+
+
+class TestCapabilities:
+    """Section 4: capability checks cost one MAC verification per ORDMA."""
+
+    def test_benchmark(self, benchmark):
+        out = benchmark.pedantic(ablation_capabilities,
+                                 kwargs={"n_blocks": 96},
+                                 rounds=1, iterations=1)
+        expected = default_params().nic.capability_verify_us
+        assert out["overhead_us"] == pytest.approx(expected, abs=0.2)
+        assert out["with_capabilities_us"] > out["without_capabilities_us"]
+
+
+class TestTCPTransport:
+    """Section 5: offloaded UDP beats host-resident TCP — the paper's
+    stated reason for running NFS over UDP on Myrinet."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.bench.ablations import ablation_tcp_transport
+        return ablation_tcp_transport(blocks=160)
+
+    def test_benchmark(self, benchmark):
+        from repro.bench.ablations import ablation_tcp_transport
+        out = benchmark.pedantic(ablation_tcp_transport,
+                                 kwargs={"blocks": 64},
+                                 rounds=1, iterations=1)
+        assert set(out) == {"udp", "tcp"}
+
+    def test_udp_faster_than_tcp(self, results):
+        assert results["udp"]["throughput_mb_s"] > \
+            results["tcp"]["throughput_mb_s"]
+
+    def test_both_remain_copy_bound(self, results):
+        """Either transport leaves the NFS client copy-bound — transport
+        choice does not rescue standard NFS (Fig. 3's real story)."""
+        for transport in ("udp", "tcp"):
+            assert results[transport]["client_cpu"] > 0.85
+            assert results[transport]["throughput_mb_s"] < 80.0
+
+
+class TestMemoryPressure:
+    """Section 4.2.1: VM reclaim invalidates exports; stale references
+    fault and recover — ODAFS stays correct, just slower."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.bench.ablations import ablation_memory_pressure
+        return ablation_memory_pressure(transactions=800, n_files=160)
+
+    def test_benchmark(self, benchmark):
+        from repro.bench.ablations import ablation_memory_pressure
+        out = benchmark.pedantic(
+            ablation_memory_pressure,
+            kwargs={"transactions": 300, "n_files": 64,
+                    "reclaim_intervals_us": (0.0, 10_000.0)},
+            rounds=1, iterations=1)
+        assert 0.0 in out
+
+    def test_no_pressure_means_no_faults(self, results):
+        assert results[0.0]["ordma_fault_rate"] == 0.0
+        assert results[0.0]["reclaimed"] == 0
+
+    def test_fault_rate_rises_with_pressure(self, results):
+        intervals = sorted((k for k in results if k > 0), reverse=True)
+        rates = [results[k]["ordma_fault_rate"] for k in intervals]
+        assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))
+        assert rates[-1] > 0.1
+
+    def test_throughput_degrades_under_pressure(self, results):
+        heaviest = min(k for k in results if k > 0)
+        assert results[heaviest]["txns_per_s"] < \
+            0.5 * results[0.0]["txns_per_s"]
+
+
+class TestClientScaling:
+    """Section 2.2/2.3: per-I/O server overhead caps multi-client scale;
+    queueing at a saturated server inflates response time. ORDMA scales."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.bench.ablations import ablation_client_scaling
+        return ablation_client_scaling(blocks_per_file=256)
+
+    def test_benchmark(self, benchmark):
+        from repro.bench.ablations import ablation_client_scaling
+        out = benchmark.pedantic(
+            ablation_client_scaling,
+            kwargs={"client_counts": (1, 2), "blocks_per_file": 128},
+            rounds=1, iterations=1)
+        assert set(out) == {"dafs", "odafs"}
+
+    def test_dafs_saturates_server_cpu(self, results):
+        assert results["dafs"][3]["server_cpu"] > 0.95
+        # Adding the third client buys almost nothing.
+        assert results["dafs"][3]["throughput_mb_s"] < \
+            1.1 * results["dafs"][2]["throughput_mb_s"]
+
+    def test_dafs_response_time_inflates_with_load(self, results):
+        assert results["dafs"][3]["mean_read_us"] > \
+            1.5 * results["dafs"][1]["mean_read_us"]
+
+    def test_odafs_scales_without_server_cpu(self, results):
+        assert results["odafs"][3]["throughput_mb_s"] > \
+            1.5 * results["odafs"][1]["throughput_mb_s"]
+        for n in (1, 2, 3):
+            assert results["odafs"][n]["server_cpu"] < 0.02
+
+    def test_odafs_beats_dafs_at_every_client_count(self, results):
+        for n in (1, 2, 3):
+            assert results["odafs"][n]["throughput_mb_s"] > \
+                results["dafs"][n]["throughput_mb_s"]
+
+
+class TestReadWriteMix:
+    """Section 4.2.2: writes always involve the server CPU, so the ODAFS
+    gain shrinks as the read ratio falls."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.bench.ablations import ablation_read_write_mix
+        return ablation_read_write_mix(transactions=1000, n_files=160)
+
+    def test_benchmark(self, benchmark):
+        from repro.bench.ablations import ablation_read_write_mix
+        out = benchmark.pedantic(
+            ablation_read_write_mix,
+            kwargs={"transactions": 300, "n_files": 64,
+                    "read_ratios": (1.0, 0.5)},
+            rounds=1, iterations=1)
+        assert 1.0 in out
+
+    def test_gain_shrinks_with_writes(self, results):
+        ratios = sorted(results, reverse=True)  # 1.0 first
+        gains = [results[r]["odafs_gain"] for r in ratios]
+        assert all(a >= b - 0.02 for a, b in zip(gains, gains[1:]))
+        assert gains[0] > gains[-1] + 0.10
+
+    def test_writes_consume_odafs_server_cpu(self, results):
+        assert results[1.0]["odafs_server_cpu"] < 0.02
+        assert results[0.5]["odafs_server_cpu"] > 0.10
+
+
+class TestOverheadSensitivity:
+    """Section 2.3 cites [Martin & Culler '99]: SFS-mix NFS throughput is
+    most sensitive to host CPU overhead, far less to latency/bandwidth."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.bench.ablations import ablation_overhead_sensitivity
+        return ablation_overhead_sensitivity(ops_per_client=300)
+
+    def test_benchmark(self, benchmark):
+        from repro.bench.ablations import ablation_overhead_sensitivity
+        out = benchmark.pedantic(
+            ablation_overhead_sensitivity,
+            kwargs={"ops_per_client": 120, "scales": (1.0, 4.0)},
+            rounds=1, iterations=1)
+        assert set(out) == {"cpu_overhead", "latency", "bandwidth"}
+
+    def _loss(self, results, knob):
+        return 1.0 - results[knob][4.0] / results[knob][1.0]
+
+    def test_cpu_overhead_dominates(self, results):
+        cpu = self._loss(results, "cpu_overhead")
+        assert cpu > 3.0 * self._loss(results, "latency")
+        assert cpu > 3.0 * self._loss(results, "bandwidth")
+        assert cpu > 0.4  # 4x overhead costs a large fraction of ops/s
+
+    def test_latency_barely_matters_on_a_lan(self, results):
+        assert self._loss(results, "latency") < 0.10
+
+    def test_monotone_in_every_knob(self, results):
+        for knob, series in results.items():
+            scales = sorted(series)
+            values = [series[s] for s in scales]
+            assert all(a >= b - 1e-6 for a, b in zip(values, values[1:]))
+
+
+class TestEagerVsLazyRefs:
+    """Section 4.2 principle (a): eager directory building turns even the
+    first pass into ORDMA, at the cost of one bulk reference fetch."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.bench.ablations import ablation_eager_vs_lazy_refs
+        return ablation_eager_vs_lazy_refs(n_blocks=192)
+
+    def test_benchmark(self, benchmark):
+        from repro.bench.ablations import ablation_eager_vs_lazy_refs
+        out = benchmark.pedantic(ablation_eager_vs_lazy_refs,
+                                 kwargs={"n_blocks": 64},
+                                 rounds=1, iterations=1)
+        assert set(out) == {"lazy", "eager"}
+
+    def test_eager_first_pass_is_ordma(self, results):
+        assert results["eager"]["rpc_fills"] == 0
+        assert results["eager"]["ordma_reads"] == 192
+        assert results["lazy"]["rpc_fills"] == 192
+
+    def test_eager_first_pass_faster(self, results):
+        assert results["eager"]["first_pass_us_per_read"] < \
+            0.75 * results["lazy"]["first_pass_us_per_read"]
+
+    def test_eager_saves_server_cpu(self, results):
+        assert results["eager"]["server_cpu_us_per_read"] < \
+            0.1 * results["lazy"]["server_cpu_us_per_read"]

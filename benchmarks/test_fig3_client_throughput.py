@@ -1,0 +1,68 @@
+"""Fig. 3 — client read throughput vs application block size.
+
+Paper shape: DAFS and NFS hybrid plateau ~230 MB/s from 32 KB; NFS
+pre-posting slightly higher (~235 MB/s, 8 KB Ethernet fragments vs 4 KB GM
+fragments); standard NFS tops out ~65 MB/s, copy-bound.
+"""
+
+import pytest
+
+from repro.bench.figures import fig3_fig4
+
+BLOCKS = (4, 32, 64, 256, 512)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return fig3_fig4(block_sizes_kb=BLOCKS, blocks_per_point=256)
+
+
+def test_fig3_benchmark(benchmark):
+    out = benchmark.pedantic(
+        fig3_fig4, kwargs={"block_sizes_kb": (4, 64, 512),
+                           "blocks_per_point": 128},
+        rounds=1, iterations=1)
+    assert set(out) == {"nfs", "nfs-prepost", "nfs-hybrid", "dafs"}
+
+
+def _plateau(results, system):
+    return results[system][512]["throughput_mb_s"]
+
+
+def test_nfs_plateau_near_65(results):
+    assert _plateau(results, "nfs") == pytest.approx(65.0, rel=0.15)
+
+
+def test_zero_copy_systems_saturate_link(results):
+    for system in ("nfs-prepost", "nfs-hybrid", "dafs"):
+        assert _plateau(results, system) > 220.0
+
+
+def test_prepost_beats_rdma_systems_at_plateau(results):
+    """8 KB Ethernet fragments beat 4 KB GM fragments (Section 5.1)."""
+    prepost = _plateau(results, "nfs-prepost")
+    assert prepost > _plateau(results, "dafs")
+    assert prepost > _plateau(results, "nfs-hybrid")
+
+
+def test_nfs_is_copy_bound_everywhere(results):
+    for block_kb in BLOCKS:
+        ratio = (results["nfs"][block_kb]["throughput_mb_s"]
+                 / results["dafs"][block_kb]["throughput_mb_s"])
+        assert ratio < 0.8
+
+
+def test_plateau_reached_by_32kb(results):
+    # >= 75% of the plateau by 32 KB (the paper reaches ~100%; our model
+    # keeps a slightly stronger response-behind-data convoy effect on the
+    # shared link for the RPC-over-UDP hybrid).
+    for system in ("nfs-prepost", "nfs-hybrid", "dafs"):
+        assert results[system][32]["throughput_mb_s"] > \
+            0.75 * _plateau(results, system)
+
+
+def test_throughput_rises_with_block_size(results):
+    for system, series in results.items():
+        small = series[4]["throughput_mb_s"]
+        large = series[512]["throughput_mb_s"]
+        assert large > small

@@ -1,0 +1,57 @@
+"""Fig. 4 — client CPU utilization vs application block size.
+
+Paper shape: DAFS consumes <15% of the client CPU at >=64 KB blocks; NFS
+hybrid uses more client CPU than DAFS (higher per-RPC kernel overhead)
+despite both using RDMA; NFS pre-posting's decline flattens because its
+per-fragment work scales with bytes; standard NFS saturates the CPU.
+"""
+
+import pytest
+
+from repro.bench.figures import fig3_fig4
+
+BLOCKS = (4, 64, 512)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return fig3_fig4(block_sizes_kb=BLOCKS, blocks_per_point=256)
+
+
+def test_fig4_benchmark(benchmark):
+    out = benchmark.pedantic(
+        fig3_fig4, kwargs={"block_sizes_kb": (64,), "blocks_per_point": 128},
+        rounds=1, iterations=1)
+    assert 0.0 <= out["dafs"][64]["client_cpu"] <= 1.0
+
+
+def test_dafs_below_15_percent_at_64kb(results):
+    assert results["dafs"][64]["client_cpu"] < 0.15
+    assert results["dafs"][512]["client_cpu"] < 0.15
+
+
+def test_hybrid_uses_more_cpu_than_dafs(results):
+    for block_kb in BLOCKS:
+        assert results["nfs-hybrid"][block_kb]["client_cpu"] > \
+            results["dafs"][block_kb]["client_cpu"]
+
+
+def test_nfs_client_cpu_saturated(results):
+    assert results["nfs"][64]["client_cpu"] > 0.85
+    assert results["nfs"][512]["client_cpu"] > 0.85
+
+
+def test_prepost_cpu_flattens_with_per_byte_floor(results):
+    """Pre-posting's utilization cannot fall below its per-fragment work."""
+    prepost = results["nfs-prepost"]
+    assert prepost[512]["client_cpu"] > 0.15  # floor
+    assert prepost[512]["client_cpu"] < prepost[4]["client_cpu"]
+    # DAFS keeps dropping far below pre-posting's floor.
+    assert results["dafs"][512]["client_cpu"] < \
+        0.25 * prepost[512]["client_cpu"]
+
+
+def test_cpu_declines_with_block_size_for_zero_copy(results):
+    for system in ("dafs", "nfs-hybrid", "nfs-prepost"):
+        series = results[system]
+        assert series[512]["client_cpu"] < series[4]["client_cpu"]

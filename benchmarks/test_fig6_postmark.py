@@ -1,0 +1,59 @@
+"""Fig. 6 — PostMark read-only transaction throughput vs client cache hit
+ratio (25% / 50% / 75%).
+
+Paper shape: ODAFS yields ~34% higher throughput than DAFS at every hit
+ratio; DAFS server CPU drops 30% -> 25% -> 20% as the hit ratio improves,
+while ODAFS uses *no* server CPU once it has collected references for the
+whole server cache.
+"""
+
+import pytest
+
+from repro.bench.figures import fig6_postmark
+
+RATIOS = (25, 50, 75)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return fig6_postmark(n_files=384, transactions=3000)
+
+
+def test_fig6_benchmark(benchmark):
+    out = benchmark.pedantic(
+        fig6_postmark, kwargs={"n_files": 128, "transactions": 600},
+        rounds=1, iterations=1)
+    assert set(out) == {"dafs", "odafs"}
+
+
+@pytest.mark.parametrize("ratio", RATIOS)
+def test_odafs_gain_near_34_percent(results, ratio):
+    gain = (results["odafs"][ratio]["txns_per_s"]
+            / results["dafs"][ratio]["txns_per_s"] - 1.0)
+    assert 0.18 < gain < 0.50  # paper: ~0.34 at every ratio
+
+
+@pytest.mark.parametrize("ratio", RATIOS)
+def test_odafs_uses_no_server_cpu(results, ratio):
+    assert results["odafs"][ratio]["server_cpu"] < 0.02
+
+
+def test_dafs_server_cpu_declines_with_hit_ratio(results):
+    cpus = [results["dafs"][r]["server_cpu"] for r in RATIOS]
+    assert cpus[0] > cpus[1] > cpus[2]
+    # paper: 30% -> 25% -> 20%
+    assert cpus[0] == pytest.approx(0.30, abs=0.07)
+    assert cpus[2] == pytest.approx(0.20, abs=0.07)
+
+
+@pytest.mark.parametrize("system", ("dafs", "odafs"))
+def test_throughput_rises_with_hit_ratio(results, system):
+    series = [results[system][r]["txns_per_s"] for r in RATIOS]
+    assert series[0] < series[1] < series[2]
+
+
+@pytest.mark.parametrize("ratio", RATIOS)
+def test_achieved_hit_ratio_close_to_target(results, ratio):
+    for system in ("dafs", "odafs"):
+        achieved = results[system][ratio]["hit_ratio"]
+        assert achieved == pytest.approx(ratio / 100.0, abs=0.08)

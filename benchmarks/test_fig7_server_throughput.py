@@ -1,0 +1,82 @@
+"""Fig. 7 — server throughput, two clients, cache block size 4-64 KB.
+
+Paper shape: ODAFS saturates the server network link at every cache block
+size without using the server CPU; DAFS is server-CPU-bound at small
+blocks (interrupt-constrained at 4 KB; ~170 MB/s with polling) and
+converges to the link rate at large blocks. The residual ODAFS gain over
+polling DAFS at 4 KB is ~32%.
+"""
+
+import pytest
+
+from repro.bench.figures import fig7_server_throughput
+from repro.hw.nic import NotifyMode
+
+BLOCKS = (4, 16, 64)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return fig7_server_throughput(block_sizes_kb=BLOCKS,
+                                  blocks_per_file=512)
+
+
+@pytest.fixture(scope="module")
+def polling_results():
+    return fig7_server_throughput(block_sizes_kb=(4,),
+                                  blocks_per_file=512,
+                                  server_mode=NotifyMode.POLL)
+
+
+def test_fig7_benchmark(benchmark):
+    out = benchmark.pedantic(
+        fig7_server_throughput, kwargs={"block_sizes_kb": (4,),
+                                        "blocks_per_file": 256},
+        rounds=1, iterations=1)
+    assert set(out) == {"dafs", "odafs"}
+
+
+@pytest.mark.parametrize("block_kb", BLOCKS)
+def test_odafs_saturates_link_at_every_block_size(results, block_kb):
+    assert results["odafs"][block_kb]["throughput_mb_s"] > 200.0
+
+
+@pytest.mark.parametrize("block_kb", BLOCKS)
+def test_odafs_uses_no_server_cpu(results, block_kb):
+    assert results["odafs"][block_kb]["server_cpu"] < 0.02
+
+
+def test_dafs_cpu_bound_at_small_blocks(results):
+    small = results["dafs"][4]
+    assert small["throughput_mb_s"] < 130.0  # interrupt-constrained
+    assert small["server_cpu"] > 0.90
+
+
+def test_dafs_converges_at_large_blocks(results):
+    large = results["dafs"][64]["throughput_mb_s"]
+    odafs = results["odafs"][64]["throughput_mb_s"]
+    assert large > 0.85 * odafs
+
+
+def test_polling_dafs_near_170_at_4kb(polling_results):
+    assert polling_results["dafs"][4]["throughput_mb_s"] == \
+        pytest.approx(170.0, rel=0.10)
+
+
+def test_residual_odafs_gain_near_32_percent(polling_results):
+    dafs = polling_results["dafs"][4]["throughput_mb_s"]
+    odafs = polling_results["odafs"][4]["throughput_mb_s"]
+    assert 0.20 < odafs / dafs - 1.0 < 0.45  # paper: ~0.32
+
+
+def test_gm_get_bug_emulation_hurts_64kb_only():
+    """The paper's Fig. 7 64 KB anomaly, behind its opt-in flag."""
+    from repro.params import default_params
+    params = default_params()
+    params.net.emulate_gm_get_bug = True
+    bugged = fig7_server_throughput(params=params, block_sizes_kb=(4, 64),
+                                    blocks_per_file=256,
+                                    systems=("odafs",))
+    assert bugged["odafs"][4]["throughput_mb_s"] > 200.0
+    assert bugged["odafs"][64]["throughput_mb_s"] < \
+        bugged["odafs"][4]["throughput_mb_s"] - 20.0

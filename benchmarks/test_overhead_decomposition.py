@@ -1,0 +1,71 @@
+"""Section 2.2's overhead equation, fitted from measurements.
+
+The decomposition quantifies the paper's two arguments: RDDP removes the
+per-byte term (copies), and ORDMA/user-level structure removes most of the
+per-I/O term (RPC processing).
+"""
+
+import pytest
+
+from repro.bench.decompose import decompose, fit_overhead
+
+
+@pytest.fixture(scope="module")
+def results():
+    return decompose(n_ios=64)
+
+
+def test_decompose_benchmark(benchmark):
+    out = benchmark.pedantic(decompose,
+                             kwargs={"n_ios": 32, "sizes_kb": (4, 64)},
+                             rounds=1, iterations=1)
+    assert "nfs" in out and "dafs" in out
+
+
+def test_nfs_per_byte_dominates(results):
+    """Standard NFS pays an order of magnitude more per byte than any
+    zero-copy system (two staging copies)."""
+    nfs = results["nfs"]["client"]["per_kb_us"]
+    for system in ("nfs-prepost", "nfs-hybrid", "dafs"):
+        assert nfs > 5.0 * results[system]["client"]["per_kb_us"]
+
+
+def test_rdma_systems_have_near_zero_per_byte(results):
+    for system in ("nfs-hybrid", "dafs"):
+        assert results[system]["client"]["per_kb_us"] < 1.0
+        assert results[system]["server"]["per_kb_us"] < 0.5
+
+
+def test_prepost_per_byte_is_fragment_work_only(results):
+    """Pre-posting eliminates copies but keeps per-fragment processing:
+    a small but nonzero per-byte term (Fig. 4's flattening)."""
+    prepost = results["nfs-prepost"]["client"]["per_kb_us"]
+    assert 0.5 < prepost < 4.0
+    assert prepost < 0.3 * results["nfs"]["client"]["per_kb_us"]
+
+
+def test_user_level_client_minimizes_per_io(results):
+    """DAFS's user-level structure pays far less per I/O than kernel
+    clients (no syscalls, no kernel RPC layer, polling)."""
+    dafs = results["dafs"]["client"]["per_io_us"]
+    for system in ("nfs", "nfs-prepost", "nfs-hybrid"):
+        assert dafs < 0.4 * results[system]["client"]["per_io_us"]
+
+
+def test_server_per_io_is_rpc_processing(results):
+    """Every RPC-served system pays tens of microseconds of server CPU
+    per I/O — the term ORDMA removes entirely (Fig. 7)."""
+    for system in ("nfs", "nfs-prepost", "nfs-hybrid", "dafs"):
+        assert 20.0 < results[system]["server"]["per_io_us"] < 90.0
+
+
+def test_fit_rejects_degenerate_input():
+    with pytest.raises(ValueError):
+        fit_overhead([(4096, 10.0)])
+
+
+def test_fit_recovers_known_coefficients():
+    points = [(m, m * 0.002 + 30.0) for m in (4096, 16384, 65536)]
+    per_kb, per_io = fit_overhead(points)
+    assert per_kb == pytest.approx(0.002 * 1024, rel=1e-6)
+    assert per_io == pytest.approx(30.0, rel=1e-6)

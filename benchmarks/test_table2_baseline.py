@@ -1,0 +1,49 @@
+"""Table 2 — baseline network performance of GM, VI and UDP.
+
+Paper values: GM 23 us / 244 MB/s; VI poll 23 us, VI block 53 us,
+244 MB/s; UDP/Ethernet 80 us / 166 MB/s.
+"""
+
+import pytest
+
+from repro.bench.baseline import PAPER_TABLE2, table2
+
+
+@pytest.fixture(scope="module")
+def results():
+    return table2()
+
+
+def test_table2_benchmark(benchmark):
+    measured = benchmark.pedantic(table2, rounds=1, iterations=1)
+    assert set(measured) == set(PAPER_TABLE2)
+
+
+@pytest.mark.parametrize("proto", list(PAPER_TABLE2))
+def test_roundtrip_matches_paper(results, proto):
+    measured = results[proto]["roundtrip_us"]
+    paper = PAPER_TABLE2[proto]["roundtrip_us"]
+    assert measured == pytest.approx(paper, rel=0.20)
+
+
+@pytest.mark.parametrize("proto", list(PAPER_TABLE2))
+def test_bandwidth_matches_paper(results, proto):
+    measured = results[proto]["bandwidth_mb_s"]
+    paper = PAPER_TABLE2[proto]["bandwidth_mb_s"]
+    assert measured == pytest.approx(paper, rel=0.15)
+
+
+def test_blocking_costs_two_interrupt_wakeups(results):
+    delta = (results["VI block"]["roundtrip_us"]
+             - results["VI poll"]["roundtrip_us"])
+    assert 20.0 < delta < 40.0  # paper: 53 - 23 = 30 us
+
+
+def test_udp_slowest_roundtrip(results):
+    assert results["UDP/Ethernet"]["roundtrip_us"] > \
+        results["VI block"]["roundtrip_us"]
+
+
+def test_gm_bandwidth_near_fragment_limit(results):
+    # 4 KB payload + ~100 B header on a 250 MB/s link => ~244 MB/s.
+    assert results["GM"]["bandwidth_mb_s"] == pytest.approx(244.0, rel=0.03)

@@ -1,0 +1,61 @@
+"""Table 3 — 4 KB read response time by network I/O mechanism.
+
+Paper values (us): RPC in-line 128 (in mem.) / 153 (in cache);
+RPC direct 144 / 144; ORDMA 92 / 92. ORDMA is ~36% faster than direct RPC.
+"""
+
+import pytest
+
+from repro.bench.figures import PAPER_TABLE3, table3_response_time
+
+
+@pytest.fixture(scope="module")
+def results():
+    return table3_response_time(n_blocks=512, measure_blocks=256)
+
+
+def test_table3_benchmark(benchmark):
+    out = benchmark.pedantic(
+        table3_response_time, kwargs={"n_blocks": 128,
+                                      "measure_blocks": 64},
+        rounds=1, iterations=1)
+    assert set(out) == {"rpc_inline", "rpc_direct", "ordma"}
+
+
+@pytest.mark.parametrize("mechanism,column", [
+    ("rpc_inline", "in_mem"), ("rpc_inline", "in_cache"),
+    ("rpc_direct", "in_mem"), ("rpc_direct", "in_cache"),
+    ("ordma", "in_mem"), ("ordma", "in_cache"),
+])
+def test_absolute_times_match_paper(results, mechanism, column):
+    measured = results[mechanism][column]
+    paper = PAPER_TABLE3[mechanism][column]
+    assert measured == pytest.approx(paper, rel=0.12)
+
+
+def test_ordma_is_fastest(results):
+    ordma = results["ordma"]["in_cache"]
+    assert ordma < results["rpc_inline"]["in_mem"]
+    assert ordma < results["rpc_direct"]["in_mem"]
+
+
+def test_ordma_improvement_over_direct_rpc(results):
+    """Paper: ~36% lower response time than direct RPC."""
+    gain = 1.0 - results["ordma"]["in_cache"] / results["rpc_direct"]["in_cache"]
+    assert 0.25 < gain < 0.45
+
+
+def test_inline_in_cache_pays_one_server_copy(results):
+    delta = (results["rpc_inline"]["in_cache"]
+             - results["rpc_inline"]["in_mem"])
+    assert 18.0 < delta < 33.0  # paper: 153 - 128 = 25 us (a 4 KB copy)
+
+
+def test_direct_read_insensitive_to_data_location(results):
+    assert results["rpc_direct"]["in_mem"] == \
+        pytest.approx(results["rpc_direct"]["in_cache"], rel=0.01)
+
+
+def test_inline_faster_than_direct_from_memory(results):
+    """In-lining beats a separate RDMA when no server copy is needed."""
+    assert results["rpc_inline"]["in_mem"] < results["rpc_direct"]["in_mem"]

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Media streaming: the throughput-intensive large-I/O workload.
+
+The paper's introduction motivates DAFS with resource-intensive NAS
+applications such as media streaming (Section 1). This example streams a
+file sequentially with asynchronous read-ahead over all four Fig. 3
+systems at a media-friendly 256 KB block size and reports the achieved
+bandwidth and client CPU cost — the per-byte-overhead story of the paper
+in one run: zero-copy systems saturate the 2 Gb/s link, the copy-bound
+standard NFS client cannot.
+
+Run:  python examples/media_streaming.py
+"""
+
+from repro import KB, default_params
+from repro.cluster import Cluster
+from repro.workloads.sequential import SequentialReadWorkload
+
+BLOCK = 256 * KB
+BLOCKS = 256  # 64 MB stream (steady-state rate is size-independent)
+
+
+def main():
+    print(f"streaming a {BLOCKS * BLOCK // (1024 * 1024)} MiB file in "
+          f"{BLOCK // 1024} KB blocks, read-ahead window 16\n")
+    print(f"{'system':<14} {'throughput':>12} {'client CPU':>11}")
+    print("-" * 39)
+    for system in ("nfs", "nfs-prepost", "nfs-hybrid", "dafs"):
+        params = default_params()
+        kwargs = {"cache_blocks": 0} if system == "dafs" else {}
+        cluster = Cluster(params, system=system, block_size=BLOCK,
+                          server_cache_blocks=BLOCKS + 8,
+                          client_kwargs=kwargs)
+        cluster.create_file("movie.mp4", BLOCKS * BLOCK)
+        workload = SequentialReadWorkload(cluster, "movie.mp4",
+                                          BLOCKS * BLOCK, BLOCK, window=16)
+        out = workload.run()
+        print(f"{system:<14} {out['throughput_mb_s']:>9.1f} MB/s "
+              f"{out['client_cpu'] * 100:>9.1f}%")
+    print("\n(2 Gb/s link = 250 MB/s; GM fragments cap it at ~244 MB/s,"
+          "\n 8 KB Ethernet fragments at ~248 MB/s)")
+
+
+if __name__ == "__main__":
+    main()

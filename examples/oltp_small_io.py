@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""OLTP-style small I/O: the per-I/O-overhead story and ORDMA's win.
+
+The paper's second half targets multi-client workloads dominated by
+small (4 KB) I/Os — on-line transaction processing being the canonical
+example (Section 1). This example runs a PostMark-style read-only
+transaction mix over DAFS and Optimistic DAFS at two client-cache sizes
+and reports transaction throughput, response times, and server CPU: the
+ORDMA fast path roughly triples what the server CPU can sustain because
+it is not involved at all.
+
+Run:  python examples/oltp_small_io.py
+"""
+
+from repro import KB, default_params
+from repro.cluster import Cluster
+from repro.sim import LatencyStats
+from repro.workloads.postmark import PostMarkWorkload
+
+N_FILES = 384
+TRANSACTIONS = 3000
+
+
+def run_system(system: str, cache_fraction: float):
+    params = default_params()
+    cluster = Cluster(params, system=system, block_size=4 * KB,
+                      server_cache_blocks=N_FILES + 8,
+                      client_kwargs={"cache_blocks":
+                                     max(1, int(N_FILES * cache_fraction))})
+    workload = PostMarkWorkload(cluster, n_files=N_FILES,
+                                transactions=TRANSACTIONS)
+    workload.setup()
+    return workload.run()
+
+
+def response_time(system: str):
+    """Mean warm-path 4 KB remote read latency for one client."""
+    params = default_params()
+    cluster = Cluster(params, system=system, block_size=4 * KB,
+                      server_cache_blocks=264,
+                      client_kwargs={"cache_blocks": 8})
+    cluster.create_file("probe", 256 * 4 * KB)
+    client = cluster.clients[0]
+    stats = LatencyStats()
+
+    def main():
+        yield from client.open("probe")
+        for i in range(256):
+            yield from client.read("probe", i * 4 * KB, 4 * KB)
+        for i in range(256):
+            start = cluster.sim.now
+            yield from client.read("probe", i * 4 * KB, 4 * KB)
+            stats.record(cluster.sim.now - start)
+
+    cluster.sim.run_process(main())
+    return stats
+
+
+def main():
+    print("4 KB remote read response time (second pass, warm server "
+          "cache):")
+    for system in ("dafs", "odafs"):
+        stats = response_time(system)
+        print(f"  {system:<6} mean {stats.mean:6.1f} us   "
+              f"p99 {stats.percentile(99):6.1f} us")
+    print()
+    print(f"{'system':<7} {'cache':>6} {'txns/s':>9} {'server CPU':>11}")
+    print("-" * 37)
+    for cache_fraction in (0.25, 0.75):
+        for system in ("dafs", "odafs"):
+            out = run_system(system, cache_fraction)
+            print(f"{system:<7} {int(cache_fraction * 100):>5}% "
+                  f"{out['txns_per_s']:>9.0f} "
+                  f"{out['server_cpu'] * 100:>10.1f}%")
+    print("\nORDMA serves the repeat reads without any server CPU — the "
+          "\nserver's cycles are freed for more clients (Fig. 6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup entry point.
+
+Kept so ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip falls back to ``setup.py develop``). All metadata
+lives in pyproject.toml; values here mirror it for the legacy path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Making the Most out of Direct-Access Network "
+        "Attached Storage' (FAST 2003)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={"console_scripts": ["repro-bench=repro.bench.cli:main"]},
+)

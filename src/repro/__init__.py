@@ -1,0 +1,55 @@
+"""repro — reproduction of *Making the Most out of Direct-Access Network
+Attached Storage* (Magoutis, Addetia, Fedorova, Seltzer; FAST 2003).
+
+The package simulates the paper's complete testbed — hosts, NICs with
+RDMA/ORDMA support, a 2 Gb/s fabric, GM/VI/UDP transports, RPC — and the
+five NAS systems evaluated on it (standard NFS, NFS pre-posting, NFS
+hybrid, DAFS, Optimistic DAFS), plus the workloads and benchmark harness
+that regenerate every table and figure in the paper's evaluation.
+
+Quick start::
+
+    from repro import Cluster, default_params
+    cluster = Cluster(default_params(), system="odafs",
+                      client_kwargs={"cache_blocks": 64})
+    cluster.create_file("data.db", 1 << 20)
+    client = cluster.clients[0]
+    # drive `client.open/read/write/close` from generator processes; see
+    # README.md and the examples/ directory.
+"""
+
+from .params import (
+    KB,
+    MB,
+    HostParams,
+    NetworkParams,
+    NicParams,
+    Params,
+    ProtocolParams,
+    StorageParams,
+    default_params,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KB",
+    "MB",
+    "HostParams",
+    "NetworkParams",
+    "NicParams",
+    "Params",
+    "ProtocolParams",
+    "StorageParams",
+    "default_params",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy import of the cluster wiring to avoid import cycles for users
+    # who only need parameters.
+    if name == "Cluster":
+        from .cluster import Cluster
+        return Cluster
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,5 @@
+"""Benchmark harness: one entry point per paper table/figure + ablations."""
+
+from . import ablations, baseline, figures, report
+
+__all__ = ["ablations", "baseline", "figures", "report"]

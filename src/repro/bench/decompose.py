@@ -1,0 +1,106 @@
+"""Overhead decomposition: fit the paper's Section 2.2 cost equation.
+
+The paper models host communication overhead as
+``o(m) = m * o_per_byte + o_per_I/O``. This tool measures client and
+server CPU time per I/O across a sweep of transfer sizes for any system
+and least-squares-fits the two coefficients, producing the per-byte and
+per-I/O overhead decomposition the paper argues from:
+
+* per-byte overhead is the copy cost RDDP eliminates (Fig. 3's story);
+* per-I/O overhead is the RPC processing ORDMA eliminates (Fig. 7's).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster import Cluster
+from ..params import KB, Params, default_params
+
+#: Transfer sizes used for the fit.
+DEFAULT_SIZES_KB = (4, 16, 64, 256)
+
+
+def measure_cpu_per_io(params: Params, system: str, block_kb: int,
+                       n_ios: int = 128) -> Tuple[float, float]:
+    """Mean client and server CPU microseconds per synchronous I/O."""
+    block = block_kb * KB
+    kwargs = {"cache_blocks": 0} if system in ("dafs", "odafs") else {}
+    cluster = Cluster(params.copy(), system=system, block_size=block,
+                      server_cache_blocks=n_ios + 8, client_kwargs=kwargs)
+    cluster.create_file("probe", n_ios * block)
+    client = cluster.clients[0]
+
+    def main():
+        yield from client.open("probe")
+        # Warm the path, then measure.
+        yield from client.read("probe", 0, block)
+        cluster.reset_measurements()
+        client_mark = cluster.client_hosts[0].cpu.busy.busy_us
+        server_mark = cluster.server_host.cpu.busy.busy_us
+        for i in range(1, n_ios):
+            yield from client.read("probe", i * block, block)
+        client_us = (cluster.client_hosts[0].cpu.busy.busy_us - client_mark)
+        server_us = (cluster.server_host.cpu.busy.busy_us - server_mark)
+        return client_us / (n_ios - 1), server_us / (n_ios - 1)
+
+    return cluster.sim.run_process(main())
+
+
+def fit_overhead(points: List[Tuple[int, float]]) -> Tuple[float, float]:
+    """Least-squares fit of ``o(m) = m*o_byte + o_io``.
+
+    ``points`` is [(bytes, microseconds)]. Returns (o_byte_us_per_kb,
+    o_io_us). The per-byte coefficient is reported per KB for
+    readability.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two sizes to fit two coefficients")
+    m = np.array([[float(size), 1.0] for size, _ in points])
+    y = np.array([usec for _, usec in points])
+    (o_byte, o_io), *_ = np.linalg.lstsq(m, y, rcond=None)
+    return o_byte * 1024.0, max(0.0, o_io)
+
+
+def decompose(params: Optional[Params] = None,
+              systems: Iterable[str] = ("nfs", "nfs-prepost",
+                                        "nfs-hybrid", "dafs"),
+              sizes_kb: Iterable[int] = DEFAULT_SIZES_KB,
+              n_ios: int = 96) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Full decomposition: {system: {side: {per_kb_us, per_io_us}}}."""
+    params = params or default_params()
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for system in systems:
+        client_points: List[Tuple[int, float]] = []
+        server_points: List[Tuple[int, float]] = []
+        for size_kb in sizes_kb:
+            client_us, server_us = measure_cpu_per_io(params, system,
+                                                      size_kb, n_ios)
+            client_points.append((size_kb * KB, client_us))
+            server_points.append((size_kb * KB, server_us))
+        c_byte, c_io = fit_overhead(client_points)
+        s_byte, s_io = fit_overhead(server_points)
+        out[system] = {
+            "client": {"per_kb_us": c_byte, "per_io_us": c_io},
+            "server": {"per_kb_us": s_byte, "per_io_us": s_io},
+        }
+    return out
+
+
+def render(decomposition: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    """Readable table of the fitted coefficients."""
+    from .report import format_table
+    rows = []
+    for system, sides in decomposition.items():
+        rows.append([
+            system,
+            f"{sides['client']['per_kb_us']:.3f}",
+            f"{sides['client']['per_io_us']:.1f}",
+            f"{sides['server']['per_kb_us']:.3f}",
+            f"{sides['server']['per_io_us']:.1f}",
+        ])
+    return format_table(
+        ["system", "client us/KB", "client us/IO",
+         "server us/KB", "server us/IO"], rows)

@@ -1,0 +1,254 @@
+"""One entry point per evaluation table/figure (Section 5).
+
+Each function builds fresh clusters, runs the paper's workload at a scaled
+size (steady-state rates are size-independent; the scale factors are
+documented in EXPERIMENTS.md), and returns structured results next to the
+paper's published values where the paper prints them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..cluster import Cluster
+from ..hw.nic import NotifyMode
+from ..params import KB, Params, default_params
+from ..sim import LatencyStats
+from ..workloads.bdb import BerkeleyDBJoinWorkload
+from ..workloads.postmark import PostMarkWorkload
+from ..workloads.sequential import SequentialReadWorkload
+from ..workloads.smallio import MultiClientReadWorkload
+
+#: Fig. 3/4 application block sizes (KB), as in the paper.
+FIG3_BLOCK_SIZES_KB = (4, 8, 16, 32, 64, 128, 256, 512)
+#: Fig. 3 systems.
+FIG3_SYSTEMS = ("nfs", "nfs-prepost", "nfs-hybrid", "dafs")
+#: Fig. 7 cache block sizes (KB).
+FIG7_BLOCK_SIZES_KB = (4, 8, 16, 32, 64)
+
+#: Published anchor values for side-by-side reporting.
+PAPER_FIG3_PLATEAU = {"nfs": 65.0, "nfs-prepost": 235.0,
+                      "nfs-hybrid": 230.0, "dafs": 230.0}
+PAPER_TABLE3 = {
+    "rpc_inline": {"in_mem": 128.0, "in_cache": 153.0},
+    "rpc_direct": {"in_mem": 144.0, "in_cache": 144.0},
+    "ordma": {"in_mem": 92.0, "in_cache": 92.0},
+}
+PAPER_FIG6_GAIN = 0.34   # ODAFS ~34% over DAFS at every hit ratio
+PAPER_FIG7_GAIN = 0.32   # ODAFS ~32% over polling DAFS at 4 KB
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 + Fig. 4: client read throughput and CPU utilization
+# ---------------------------------------------------------------------------
+
+def fig3_fig4(params: Optional[Params] = None,
+              systems: Iterable[str] = FIG3_SYSTEMS,
+              block_sizes_kb: Iterable[int] = FIG3_BLOCK_SIZES_KB,
+              blocks_per_point: int = 512,
+              window: int = 16) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Sequential read-ahead sweep over application block size.
+
+    Returns {system: {block_kb: {throughput_mb_s, client_cpu}}}. The paper
+    used a 1.5 GB file; we scale the file with the block size
+    (``blocks_per_point`` blocks) since steady-state rates are
+    size-independent.
+    """
+    params = params or default_params()
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for system in systems:
+        results[system] = {}
+        for block_kb in block_sizes_kb:
+            block = block_kb * KB
+            cluster = Cluster(params.copy(), system=system,
+                              block_size=block,
+                              server_cache_blocks=blocks_per_point + 8,
+                              client_kwargs=_streaming_client_kwargs(system))
+            cluster.create_file("stream", blocks_per_point * block)
+            workload = SequentialReadWorkload(
+                cluster, "stream", blocks_per_point * block, block,
+                window=window)
+            out = workload.run()
+            results[system][block_kb] = {
+                "throughput_mb_s": out["throughput_mb_s"],
+                "client_cpu": out["client_cpu"],
+            }
+    return results
+
+
+def _streaming_client_kwargs(system: str) -> Dict:
+    if system in ("dafs", "odafs"):
+        return {"cache_blocks": 0}  # Fig. 3 reads bypass the client cache
+    return {}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5: Berkeley DB join throughput vs per-record copying
+# ---------------------------------------------------------------------------
+
+def fig5_berkeley_db(params: Optional[Params] = None,
+                     systems: Iterable[str] = FIG3_SYSTEMS,
+                     copy_points_kb: Iterable[int] = (0, 8, 16, 32, 64),
+                     n_records: int = 256,
+                     window: int = 8) -> Dict[str, Dict[int, float]]:
+    """Returns {system: {copied_kb: throughput_mb_s}}.
+
+    ``copied_kb=0`` copies one byte (the paper's minimum); 64 means the
+    whole 60 KB record (the paper's axis tops at its record size).
+    """
+    params = params or default_params()
+    io = BerkeleyDBJoinWorkload.IO_BYTES
+    results: Dict[str, Dict[int, float]] = {}
+    for system in systems:
+        results[system] = {}
+        for copied_kb in copy_points_kb:
+            copy_bytes = min(copied_kb * KB,
+                             BerkeleyDBJoinWorkload.RECORD_BYTES)
+            if copied_kb == 0:
+                copy_bytes = 1
+            cluster = Cluster(params.copy(), system=system, block_size=io,
+                              server_cache_blocks=n_records + 8,
+                              client_kwargs=_streaming_client_kwargs(system))
+            cluster.create_file("db", n_records * io)
+            workload = BerkeleyDBJoinWorkload(cluster, "db", n_records,
+                                              copy_bytes, window=window)
+            out = workload.run()
+            results[system][copied_kb] = out["throughput_mb_s"]
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Table 3: 4 KB read response time
+# ---------------------------------------------------------------------------
+
+def table3_response_time(params: Optional[Params] = None,
+                         n_blocks: int = 1024,
+                         measure_blocks: int = 512
+                         ) -> Dict[str, Dict[str, float]]:
+    """Response time of 4 KB reads by network I/O mechanism.
+
+    The paper's microbenchmark reads a file warm in the server cache twice
+    in 4 KB increments with a small, cold client cache; the second pass
+    still misses the client cache but (for ORDMA) hits the reference
+    directory. Reported: mean second-pass response time.
+    """
+    params = params or default_params()
+    results = {
+        "rpc_inline": {
+            "in_mem": _response_time(params, "dafs", "inline-mem",
+                                     n_blocks, measure_blocks),
+            "in_cache": _response_time(params, "dafs", "inline",
+                                       n_blocks, measure_blocks),
+        },
+        "rpc_direct": {
+            "in_mem": _response_time(params, "dafs", "direct",
+                                     n_blocks, measure_blocks),
+            "in_cache": _response_time(params, "dafs", "direct",
+                                       n_blocks, measure_blocks),
+        },
+        "ordma": {},
+    }
+    ordma = _response_time(params, "odafs", "direct", n_blocks,
+                           measure_blocks)
+    results["ordma"] = {"in_mem": ordma, "in_cache": ordma}
+    return results
+
+
+def _response_time(params: Params, system: str, rpc_mode: str,
+                   n_blocks: int, measure_blocks: int) -> float:
+    block = 4 * KB
+    cluster = Cluster(params.copy(), system=system, block_size=block,
+                      server_cache_blocks=n_blocks + 8,
+                      client_kwargs={"cache_blocks": 8,
+                                     "rpc_read_mode": rpc_mode})
+    cluster.create_file("micro", n_blocks * block)
+    client = cluster.clients[0]
+    stats = LatencyStats()
+
+    def main():
+        yield from client.open("micro")
+        for i in range(n_blocks):  # pass 1: cold, fills the directory
+            yield from client.read("micro", i * block, block)
+        for i in range(measure_blocks):  # pass 2: measured
+            start = cluster.sim.now
+            yield from client.read("micro", i * block, block)
+            stats.record(cluster.sim.now - start)
+        return stats.mean
+
+    return cluster.sim.run_process(main())
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6: PostMark throughput vs client cache hit ratio
+# ---------------------------------------------------------------------------
+
+def fig6_postmark(params: Optional[Params] = None,
+                  hit_ratios: Iterable[float] = (0.25, 0.50, 0.75),
+                  n_files: int = 512,
+                  transactions: int = 4000
+                  ) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Returns {system: {hit_pct: {txns_per_s, server_cpu, hit_ratio}}}.
+
+    The client cache hit ratio is controlled by sizing the client cache
+    relative to the fixed file set, exactly as the paper varies it.
+    """
+    params = params or default_params()
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for system in ("dafs", "odafs"):
+        results[system] = {}
+        for ratio in hit_ratios:
+            cache_blocks = max(1, int(n_files * ratio))
+            cluster = Cluster(params.copy(), system=system,
+                              block_size=4 * KB,
+                              server_cache_blocks=n_files + 8,
+                              client_kwargs={"cache_blocks": cache_blocks})
+            workload = PostMarkWorkload(cluster, n_files=n_files,
+                                        transactions=transactions)
+            workload.setup()
+            out = workload.run()
+            results[system][int(ratio * 100)] = {
+                "txns_per_s": out["txns_per_s"],
+                "server_cpu": out["server_cpu"],
+                "hit_ratio": out.get("client_cache_hit_ratio", 0.0),
+            }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7: server throughput, two clients, small I/O
+# ---------------------------------------------------------------------------
+
+def fig7_server_throughput(params: Optional[Params] = None,
+                           block_sizes_kb: Iterable[int] = FIG7_BLOCK_SIZES_KB,
+                           blocks_per_file: int = 768,
+                           server_mode: NotifyMode = NotifyMode.BLOCK,
+                           systems: Iterable[str] = ("dafs", "odafs"),
+                           app_blocks: int = 8
+                           ) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Returns {system: {cache_block_kb: {throughput_mb_s, server_cpu}}}.
+
+    Two clients read the same warm file twice; throughput is measured over
+    the second pass. ``server_mode`` selects interrupt- vs polling-driven
+    DAFS service (the paper reports both at 4 KB).
+    """
+    params = params or default_params()
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for system in systems:
+        results[system] = {}
+        for block_kb in block_sizes_kb:
+            block = block_kb * KB
+            file_size = blocks_per_file * block
+            cluster = Cluster(params.copy(), system=system,
+                              block_size=block, n_clients=2,
+                              server_cache_blocks=blocks_per_file + 8,
+                              server_notify_mode=server_mode,
+                              client_kwargs={"cache_blocks": 32})
+            cluster.create_file("big", file_size)
+            workload = MultiClientReadWorkload(
+                cluster, "big", file_size, app_block_size=app_blocks * block)
+            out = workload.run()
+            results[system][block_kb] = {
+                "throughput_mb_s": out["throughput_mb_s"],
+                "server_cpu": out["server_cpu"],
+            }
+    return results

@@ -1,0 +1,15 @@
+"""Caching: replacement policies and the client block cache."""
+
+from .block_cache import BlockKey, CacheBlock, ClientFileCache
+from .lru import LRUPolicy
+from .mq import MQPolicy
+from .policy import ReplacementPolicy
+
+__all__ = [
+    "BlockKey",
+    "CacheBlock",
+    "ClientFileCache",
+    "LRUPolicy",
+    "MQPolicy",
+    "ReplacementPolicy",
+]

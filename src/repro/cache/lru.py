@@ -1,0 +1,43 @@
+"""Least-recently-used replacement."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Iterator, Optional
+
+from .policy import ReplacementPolicy
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic LRU over an ordered dict."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def touch(self, key: Hashable) -> None:
+        if key not in self._order:
+            raise KeyError(f"touch of non-resident key {key!r}")
+        self._order.move_to_end(key)
+
+    def admit(self, key: Hashable) -> Optional[Hashable]:
+        if key in self._order:
+            self._order.move_to_end(key)
+            return None
+        victim = None
+        if len(self._order) >= self.capacity:
+            victim, _ = self._order.popitem(last=False)
+        self._order[key] = None
+        return victim
+
+    def remove(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._order)

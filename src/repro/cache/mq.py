@@ -1,0 +1,130 @@
+"""Multi-Queue (MQ) replacement — Zhou, Philbin & Li, USENIX '01.
+
+MQ is designed for second-level caches whose access stream has had its
+recency filtered out by an upstream cache — exactly the situation of the
+ODAFS client's ORDMA reference directory, which is consulted only on
+client-cache misses (Section 4.2 suggests MQ as the better fit over LRU).
+
+Structure: ``m`` LRU queues Q0..Qm-1 partitioned by access frequency
+(queue index = floor(log2(freq)), capped), per-block expiry after
+``life_time`` accesses demotes stale blocks one level, and a FIFO history
+("Qout") remembers evicted blocks' frequencies so a quick return resumes
+at full priority.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Hashable, Iterator, Optional
+
+from .policy import ReplacementPolicy
+
+
+class _Entry:
+    __slots__ = ("freq", "queue", "expire")
+
+    def __init__(self, freq: int, queue: int, expire: int):
+        self.freq = freq
+        self.queue = queue
+        self.expire = expire
+
+
+class MQPolicy(ReplacementPolicy):
+    """Multi-Queue replacement with history."""
+
+    def __init__(self, capacity: int, num_queues: int = 8,
+                 life_time: Optional[int] = None,
+                 history_size: Optional[int] = None):
+        super().__init__(capacity)
+        if num_queues < 1:
+            raise ValueError(f"num_queues must be >= 1: {num_queues}")
+        self.num_queues = num_queues
+        #: Accesses a block may sit untouched before demotion; the authors
+        #: recommend the peak temporal distance, ~capacity works well.
+        self.life_time = life_time if life_time is not None else capacity
+        self.history_size = (history_size if history_size is not None
+                             else 4 * capacity)
+        self._queues = [OrderedDict() for _ in range(num_queues)]
+        self._entries: Dict[Hashable, _Entry] = {}
+        self._history: "OrderedDict[Hashable, int]" = OrderedDict()
+        self._clock = 0
+
+    # -- internals ----------------------------------------------------------
+
+    def _queue_for(self, freq: int) -> int:
+        level = freq.bit_length() - 1  # floor(log2(freq)) for freq >= 1
+        return min(level, self.num_queues - 1)
+
+    def _place(self, key: Hashable, freq: int) -> None:
+        queue = self._queue_for(freq)
+        self._entries[key] = _Entry(freq, queue,
+                                    self._clock + self.life_time)
+        self._queues[queue][key] = None
+
+    def _adjust(self) -> None:
+        """Demote expired heads one level (the MQ 'Adjust' step)."""
+        for level in range(self.num_queues - 1, 0, -1):
+            queue = self._queues[level]
+            if not queue:
+                continue
+            head = next(iter(queue))
+            entry = self._entries[head]
+            if entry.expire < self._clock:
+                del queue[head]
+                entry.queue = level - 1
+                entry.expire = self._clock + self.life_time
+                self._queues[level - 1][head] = None
+
+    # -- policy interface ------------------------------------------------------
+
+    def touch(self, key: Hashable) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            raise KeyError(f"touch of non-resident key {key!r}")
+        self._clock += 1
+        del self._queues[entry.queue][key]
+        entry.freq += 1
+        entry.queue = self._queue_for(entry.freq)
+        entry.expire = self._clock + self.life_time
+        self._queues[entry.queue][key] = None
+        self._adjust()
+
+    def admit(self, key: Hashable) -> Optional[Hashable]:
+        if key in self._entries:
+            self.touch(key)
+            return None
+        self._clock += 1
+        victim = None
+        if len(self._entries) >= self.capacity:
+            victim = self._evict()
+        freq = self._history.pop(key, 0) + 1  # resume remembered frequency
+        self._place(key, freq)
+        self._adjust()
+        return victim
+
+    def _evict(self) -> Hashable:
+        for queue in self._queues:  # lowest non-empty queue's LRU head
+            if queue:
+                victim = next(iter(queue))
+                del queue[victim]
+                entry = self._entries.pop(victim)
+                self._history[victim] = entry.freq
+                while len(self._history) > self.history_size:
+                    self._history.popitem(last=False)
+                return victim
+        raise RuntimeError("evict from empty MQ")  # pragma: no cover
+
+    def remove(self, key: Hashable) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            del self._queues[entry.queue][key]
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        for queue in self._queues:
+            yield from queue

@@ -1,0 +1,42 @@
+"""Replacement policy interface shared by caches and the ORDMA directory.
+
+The paper uses LRU for the ORDMA reference directory and observes that a
+Multi-Queue policy (Zhou, Philbin, Li — USENIX '01) would fit better since
+ORDMA accesses happen on client-cache *misses*, i.e. they see the same
+filtered access stream as a second-level cache (Section 4.2). Both are
+implemented here and an ablation bench compares them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Optional
+
+
+class ReplacementPolicy:
+    """Tracks a bounded set of keys and picks eviction victims."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+
+    def touch(self, key: Hashable) -> None:
+        """Record an access to a resident key."""
+        raise NotImplementedError
+
+    def admit(self, key: Hashable) -> Optional[Hashable]:
+        """Insert ``key``; return the evicted victim if over capacity."""
+        raise NotImplementedError
+
+    def remove(self, key: Hashable) -> None:
+        """Drop a key without an eviction decision (invalidation)."""
+        raise NotImplementedError
+
+    def __contains__(self, key: Hashable) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Hashable]:
+        raise NotImplementedError

@@ -1,0 +1,132 @@
+"""Testbed wiring: hosts, switch, server and clients for one experiment.
+
+A :class:`Cluster` reproduces the paper's experimental platform — up to
+four PCs on a 2 Gb/s switch (Section 5) — configured for one of the five
+NAS systems of Table 1:
+
+========== ===================== ============================+
+system      server                client
+========== ===================== ============================+
+nfs         NFSServer (UDP)       NFSClient (copies, bcache)
+nfs-prepost NFSServer (UDP)       NFSPrepostClient (RDDP-RPC)
+nfs-hybrid  NFSServer (UDP+GM)    NFSHybridClient (RDMA data)
+dafs        DAFSServer (VI)       DAFSClient (user-level)
+odafs       ODAFSServer (VI)      ODAFSClient (ORDMA)
+========== ===================== ============================+
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .fs.disk import Disk
+from .fs.files import FileSystem
+from .hw.host import Host
+from .hw.nic import NotifyMode
+from .nas.client.dafs import DAFSClient
+from .nas.client.nfs import NFSClient
+from .nas.client.nfs_hybrid import NFSHybridClient
+from .nas.client.nfs_prepost import NFSPrepostClient
+from .nas.client.nfs_remap import NFSRemapClient
+from .nas.client.odafs import ODAFSClient
+from .nas.server.filecache import ServerFileCache
+from .nas.server.server import DAFSServer, NFSServer, ODAFSServer
+from .net.link import Switch
+from .params import Params, default_params
+from .sim import RandomStreams, Simulator
+
+SYSTEMS = ("nfs", "nfs-prepost", "nfs-remap", "nfs-hybrid", "dafs", "odafs")
+
+
+class Cluster:
+    """One wired experiment: a server plus ``n_clients`` client hosts."""
+
+    def __init__(self, params: Optional[Params] = None,
+                 system: str = "dafs", n_clients: int = 1,
+                 block_size: Optional[int] = None,
+                 server_cache_blocks: int = 4096,
+                 server_notify_mode: NotifyMode = NotifyMode.BLOCK,
+                 use_capabilities: bool = True,
+                 server_preload_tlb: bool = True,
+                 client_kwargs: Optional[Dict] = None):
+        if system not in SYSTEMS:
+            raise ValueError(f"unknown system {system!r}; one of {SYSTEMS}")
+        self.params = params or default_params()
+        self.system = system
+        self.sim = Simulator()
+        self.rand = RandomStreams(self.params.seed)
+        self.switch = Switch(self.sim, self.params.net)
+        self.block_size = block_size or self.params.storage.server_cache_block
+
+        self.server_host = Host(self.sim, self.params, self.switch, "server",
+                                use_capabilities=use_capabilities)
+        self.fs = FileSystem(self.block_size)
+        self.disk = Disk(self.sim, self.params.storage,
+                         name="server.disk")
+        self.cache = ServerFileCache(self.server_host, self.block_size,
+                                     server_cache_blocks,
+                                     export=(system == "odafs"),
+                                     preload_tlb=server_preload_tlb)
+        if system == "odafs":
+            self.server = ODAFSServer(self.server_host, self.fs, self.disk,
+                                      self.cache, mode=server_notify_mode)
+        elif system == "dafs":
+            self.server = DAFSServer(self.server_host, self.fs, self.disk,
+                                     self.cache, mode=server_notify_mode)
+        else:
+            self.server = NFSServer(self.server_host, self.fs, self.disk,
+                                    self.cache)
+        self.server.start()
+
+        kwargs = dict(client_kwargs or {})
+        self.client_hosts: List[Host] = []
+        self.clients = []
+        for i in range(n_clients):
+            host = Host(self.sim, self.params, self.switch, f"client{i}",
+                        use_capabilities=use_capabilities)
+            self.client_hosts.append(host)
+            self.clients.append(self._make_client(host, kwargs))
+
+    def _make_client(self, host: Host, kwargs: Dict):
+        if self.system == "nfs":
+            return NFSClient(host, "server", **kwargs)
+        if self.system == "nfs-prepost":
+            return NFSPrepostClient(host, "server", **kwargs)
+        if self.system == "nfs-remap":
+            return NFSRemapClient(host, "server", **kwargs)
+        if self.system == "nfs-hybrid":
+            return NFSHybridClient(host, "server", **kwargs)
+        if self.system == "dafs":
+            kwargs.setdefault("cache_block_size", self.block_size)
+            return DAFSClient(host, "server", **kwargs)
+        kwargs.setdefault("cache_block_size", self.block_size)
+        return ODAFSClient(host, "server", **kwargs)
+
+    # -- experiment setup -------------------------------------------------
+
+    def create_file(self, name: str, size: int, warm: bool = True) -> None:
+        """Create a file on the server; ``warm=True`` preloads the server
+        file cache (the standard Section 5 setup)."""
+        self.fs.create(name, size)
+        if warm:
+            self.server.warm(name)
+
+    # -- measurement helpers ------------------------------------------------
+
+    def reset_measurements(self) -> None:
+        """Open a fresh measurement window on every host CPU."""
+        self.server_host.cpu.reset_measurement()
+        for host in self.client_hosts:
+            host.cpu.reset_measurement()
+
+    def server_cpu_utilization(self) -> float:
+        """Server CPU utilization over the current measurement window."""
+        return self.server_host.cpu.utilization()
+
+    def client_cpu_utilization(self, index: int = 0) -> float:
+        """One client's CPU utilization over the measurement window."""
+        return self.client_hosts[index].cpu.utilization()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation (thin wrapper over ``sim.run``)."""
+        self.sim.run(until=until)

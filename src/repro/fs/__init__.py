@@ -1,0 +1,6 @@
+"""Server file system substrate: namespace, block content, disk model."""
+
+from .disk import Disk
+from .files import BlockContent, FileSystem, FileSystemError, Inode
+
+__all__ = ["BlockContent", "Disk", "FileSystem", "FileSystemError", "Inode"]

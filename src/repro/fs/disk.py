@@ -1,0 +1,47 @@
+"""Parametric disk model.
+
+All the paper's experiments run against a warm server file cache, so the
+disk matters only for the cold-cache ablations (low ORDMA success rate —
+Section 4.2.2) and for completeness of the server read path. The model is
+a single-spindle latency + bandwidth server with FIFO queueing.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..params import StorageParams
+from ..sim import Counter, Resource, Simulator
+
+
+class Disk:
+    """One disk: fixed average positioning latency plus transfer time."""
+
+    def __init__(self, sim: Simulator, params: StorageParams,
+                 name: str = "disk"):
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self._spindle = Resource(sim, capacity=1, name=name)
+        self.stats = Counter()
+
+    def read(self, nbytes: int) -> Generator:
+        """Read ``nbytes`` from a random position."""
+        yield from self._access(nbytes, "reads")
+
+    def write(self, nbytes: int) -> Generator:
+        """Write ``nbytes`` at a random position."""
+        yield from self._access(nbytes, "writes")
+
+    def _access(self, nbytes: int, counter: str) -> Generator:
+        if nbytes < 0:
+            raise ValueError(f"negative disk I/O size: {nbytes}")
+        req = self._spindle.request()
+        yield req
+        try:
+            yield self.sim.timeout(self.params.disk_latency_us
+                                   + nbytes / self.params.disk_bw)
+        finally:
+            self._spindle.release(req)
+        self.stats.incr(counter)
+        self.stats.incr("bytes", nbytes)

@@ -1,0 +1,41 @@
+"""Hardware models: CPU, memory, PCI, TPT/TLB, NIC, host."""
+
+from .cpu import CPU, PRIO_INTERRUPT, PRIO_KERNEL, PRIO_NORMAL
+from .host import Host
+from .memory import PAGE_SIZE, AddressSpace, Buffer, MemoryError_, Page
+from .nic import NIC, Completion, CompletionQueue, NotifyMode
+from .pci import PCIBus
+from .tpt import (
+    TPT,
+    CapabilityAuthority,
+    FaultReason,
+    NicTLB,
+    ProtectionError,
+    RemoteAccessFault,
+    Segment,
+)
+
+__all__ = [
+    "AddressSpace",
+    "Buffer",
+    "CPU",
+    "CapabilityAuthority",
+    "Completion",
+    "CompletionQueue",
+    "FaultReason",
+    "Host",
+    "MemoryError_",
+    "NIC",
+    "NicTLB",
+    "NotifyMode",
+    "PAGE_SIZE",
+    "PCIBus",
+    "PRIO_INTERRUPT",
+    "PRIO_KERNEL",
+    "PRIO_NORMAL",
+    "Page",
+    "ProtectionError",
+    "RemoteAccessFault",
+    "Segment",
+    "TPT",
+]

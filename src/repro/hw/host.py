@@ -1,0 +1,34 @@
+"""A host: CPU + memory + PCI bus + NIC, attached to the switch.
+
+One :class:`Host` corresponds to one of the four testbed PCs (1 GHz P-III,
+2 GB SDRAM, ServerWorks LE, LANai9.2 in a 64/66 PCI slot — Section 5).
+"""
+
+from __future__ import annotations
+
+from ..net.link import Switch
+from ..params import Params
+from ..sim import Simulator
+from .cpu import CPU
+from .memory import AddressSpace
+from .nic import NIC
+from .pci import PCIBus
+
+
+class Host:
+    """One simulated PC."""
+
+    def __init__(self, sim: Simulator, params: Params, switch: Switch,
+                 name: str, use_capabilities: bool = True):
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self.cpu = CPU(sim, params.host, name=f"{name}.cpu")
+        #: Ordinary (kernel + user) address space.
+        self.mem = AddressSpace(name=f"{name}.mem")
+        self.pci = PCIBus(sim, params.nic, name=f"{name}.pci")
+        self.nic = NIC(sim, params, name, self.cpu, self.pci, switch,
+                       use_capabilities=use_capabilities)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.name}>"

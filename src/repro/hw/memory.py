@@ -1,0 +1,178 @@
+"""Host memory model: pages, buffers, address spaces, pinning.
+
+The simulation does not move real bytes; a :class:`Buffer` carries a
+``data`` object (for end-to-end correctness checks) plus enough virtual
+memory structure for the mechanisms under study — pinning for DMA, page
+residency, host/NIC locking — to behave as the paper describes. ORDMA
+faults, TPT invalidation and registration costs all hinge on this state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+PAGE_SIZE = 4096
+
+
+class MemoryError_(RuntimeError):
+    """Host memory misuse (bad free, pin/unpin imbalance, exhaustion)."""
+
+
+class Page:
+    """One virtual memory page with the state the NIC cares about."""
+
+    __slots__ = ("vaddr", "resident", "pin_count", "locked_by_host", "nic_loaded")
+
+    def __init__(self, vaddr: int):
+        self.vaddr = vaddr
+        self.resident = True
+        self.pin_count = 0
+        #: The host VM system holds this page (e.g. mid-reclaim); conflicting
+        #: NIC access must fault rather than race (Section 4.1).
+        self.locked_by_host = False
+        #: Translation currently loaded in a NIC TLB => treated as pinned and
+        #: locked by the NIC (Section 4.1's chosen synchronization design).
+        self.nic_loaded = False
+
+    @property
+    def pinned(self) -> bool:
+        return self.pin_count > 0 or self.nic_loaded
+
+    def pin(self) -> None:
+        if not self.resident:
+            raise MemoryError_(f"cannot pin non-resident page {self.vaddr:#x}")
+        self.pin_count += 1
+
+    def unpin(self) -> None:
+        if self.pin_count <= 0:
+            raise MemoryError_(f"unpin of unpinned page {self.vaddr:#x}")
+        self.pin_count -= 1
+
+    def evict(self) -> None:
+        """Page the page out (host reclaim). Fails if pinned."""
+        if self.pinned:
+            raise MemoryError_(f"cannot evict pinned page {self.vaddr:#x}")
+        self.resident = False
+
+    def page_in(self) -> None:
+        self.resident = True
+
+
+class Buffer:
+    """A contiguous virtually addressed region.
+
+    ``data`` is the logical content (any Python object); protocol code moves
+    it between buffers to let tests verify end-to-end delivery.
+    """
+
+    __slots__ = ("space", "base", "size", "pages", "data", "name")
+
+    def __init__(self, space: "AddressSpace", base: int, size: int,
+                 pages: List[Page], name: str = ""):
+        self.space = space
+        self.base = base
+        self.size = size
+        self.pages = pages
+        self.data: Any = None
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Buffer {self.name or hex(self.base)} size={self.size}>"
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def pin(self) -> None:
+        for page in self.pages:
+            page.pin()
+
+    def unpin(self) -> None:
+        for page in self.pages:
+            page.unpin()
+
+    @property
+    def resident(self) -> bool:
+        return all(p.resident for p in self.pages)
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+    def pages_in_range(self, offset: int, nbytes: int) -> List[Page]:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise MemoryError_(
+                f"range [{offset}, {offset + nbytes}) outside buffer of "
+                f"size {self.size}"
+            )
+        first = offset // PAGE_SIZE
+        last = (offset + max(nbytes, 1) - 1) // PAGE_SIZE
+        return self.pages[first:last + 1]
+
+
+class AddressSpace:
+    """A virtual address space: allocation, lookup, reclaim.
+
+    The ODAFS server maps exported file blocks in a *private 64-bit*
+    address space touched only by the NIC (Section 4.2.1); clients and the
+    kernel use ordinary spaces. Both are instances of this class.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, name: str = "", base: int = 0x1000_0000,
+                 total_bytes: Optional[int] = None):
+        self.name = name or f"as{next(self._ids)}"
+        self._next = base
+        self._pages: Dict[int, Page] = {}
+        self._buffers: Dict[int, Buffer] = {}
+        self.total_bytes = total_bytes
+        self.allocated_bytes = 0
+
+    def alloc(self, size: int, name: str = "") -> Buffer:
+        """Allocate a page-aligned buffer of ``size`` bytes."""
+        if size <= 0:
+            raise MemoryError_(f"allocation size must be positive: {size}")
+        if self.total_bytes is not None and (
+                self.allocated_bytes + size > self.total_bytes):
+            raise MemoryError_(
+                f"address space {self.name!r} exhausted: "
+                f"{self.allocated_bytes} + {size} > {self.total_bytes}"
+            )
+        npages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+        base = self._next
+        self._next += npages * PAGE_SIZE
+        pages = []
+        for i in range(npages):
+            vaddr = base + i * PAGE_SIZE
+            page = Page(vaddr)
+            self._pages[vaddr] = page
+            pages.append(page)
+        buf = Buffer(self, base, size, pages, name=name)
+        self._buffers[base] = buf
+        self.allocated_bytes += size
+        return buf
+
+    def free(self, buf: Buffer) -> None:
+        if buf.base not in self._buffers:
+            raise MemoryError_(f"double free or foreign buffer {buf!r}")
+        for page in buf.pages:
+            if page.pinned:
+                raise MemoryError_(
+                    f"freeing buffer {buf!r} with pinned page {page.vaddr:#x}"
+                )
+            del self._pages[page.vaddr]
+        del self._buffers[buf.base]
+        self.allocated_bytes -= buf.size
+
+    def page_at(self, vaddr: int) -> Optional[Page]:
+        return self._pages.get(vaddr - (vaddr % PAGE_SIZE))
+
+    def buffer_count(self) -> int:
+        return len(self._buffers)
+
+    def reclaimable_pages(self) -> List[Page]:
+        """Pages the VM system could evict right now."""
+        return [p for p in self._pages.values()
+                if p.resident and not p.pinned and not p.locked_by_host]

@@ -1,0 +1,44 @@
+"""NAS systems: servers (NFS/DAFS/ODAFS) and the five evaluated clients."""
+
+from .client.base import FileHandle, NASClient
+from .client.dafs import DAFSClient
+from .client.directory import ORDMADirectory
+from .client.nfs import NFSClient
+from .client.nfs_hybrid import NFSHybridClient, RegistrationCache
+from .client.nfs_prepost import NFSPrepostClient
+from .client.nfs_remap import NFSRemapClient
+from .client.odafs import ODAFSClient
+from .delegation import READ, WRITE, DelegationTable
+from .server.filecache import ServerBlock, ServerFileCache
+from .server.server import (
+    DAFS_PORT,
+    NFS_PORT,
+    BaseFileServer,
+    DAFSServer,
+    NFSServer,
+    ODAFSServer,
+)
+
+__all__ = [
+    "BaseFileServer",
+    "DAFSClient",
+    "DAFSServer",
+    "DAFS_PORT",
+    "DelegationTable",
+    "FileHandle",
+    "NASClient",
+    "NFSClient",
+    "NFSHybridClient",
+    "NFSPrepostClient",
+    "NFSRemapClient",
+    "NFSServer",
+    "NFS_PORT",
+    "ODAFSClient",
+    "ODAFSServer",
+    "ORDMADirectory",
+    "READ",
+    "RegistrationCache",
+    "ServerBlock",
+    "ServerFileCache",
+    "WRITE",
+]

@@ -1,0 +1,23 @@
+"""The five evaluated NAS clients (Table 1 + Section 5)."""
+
+from .base import FileHandle, NASClient
+from .dafs import DAFSClient
+from .directory import ORDMADirectory
+from .nfs import NFSClient
+from .nfs_hybrid import NFSHybridClient, RegistrationCache
+from .nfs_prepost import NFSPrepostClient
+from .nfs_remap import NFSRemapClient
+from .odafs import ODAFSClient
+
+__all__ = [
+    "DAFSClient",
+    "FileHandle",
+    "NASClient",
+    "NFSClient",
+    "NFSHybridClient",
+    "NFSPrepostClient",
+    "NFSRemapClient",
+    "ODAFSClient",
+    "ORDMADirectory",
+    "RegistrationCache",
+]

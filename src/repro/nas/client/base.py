@@ -1,0 +1,177 @@
+"""Common NAS client machinery: handles, delegations, RPC plumbing.
+
+Each concrete client implements the same file API (open / read / write /
+close / getattr) over a different data path; workloads and benchmarks are
+written once against this interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from ...hw.host import Host
+from ...hw.memory import Buffer
+from ...net.packet import Message
+from ...proto.rpc import RPC_HEADER_BYTES, RPCClient
+from ...sim import Counter
+from ..delegation import READ
+
+
+class FileHandle:
+    """Client-side open file state."""
+
+    __slots__ = ("name", "size", "mtime", "delegated", "opens", "mode")
+
+    def __init__(self, name: str, size: int, mtime: float,
+                 delegated: bool, mode: str):
+        self.name = name
+        self.size = size
+        self.mtime = mtime
+        self.delegated = delegated
+        self.mode = mode
+        self.opens = 1
+
+
+class NASClient:
+    """Abstract base: RPC session + delegation handling."""
+
+    #: Kernel-resident clients charge syscalls and the kernel RPC layer's
+    #: extra per-call cost; the user-level DAFS client does not (Section 1:
+    #: the kernel structure is less portable but the user-level structure
+    #: needs no kernel support).
+    kernel = True
+
+    def __init__(self, host: Host, transport, server: str):
+        self.host = host
+        self.server = server
+        self.rpc = RPCClient(host, transport, server, kernel=self.kernel)
+        self.stats = Counter()
+        self._handles: Dict[str, FileHandle] = {}
+
+    # -- small helpers -----------------------------------------------------
+
+    @property
+    def sim(self):
+        return self.host.sim
+
+    @property
+    def cpu(self):
+        return self.host.cpu
+
+    @property
+    def proto(self):
+        return self.host.params.proto
+
+    def _syscall(self) -> Generator:
+        if self.kernel:
+            yield from self.cpu.syscall()
+
+    def _call(self, proc: str, args: Optional[Dict[str, Any]] = None,
+              req_bytes: int = RPC_HEADER_BYTES,
+              rddp_buffer: Optional[Buffer] = None,
+              rddp_untagged: bool = False) -> Generator:
+        response: Message = yield from self.rpc.call(
+            proc, args, req_bytes=req_bytes, rddp_buffer=rddp_buffer,
+            rddp_untagged=rddp_untagged)
+        for name in response.meta.get("recall", ()):  # piggybacked recalls
+            handle = self._handles.get(name)
+            if handle is not None:
+                handle.delegated = False
+                self.stats.incr("delegations_recalled")
+        return response
+
+    # -- namespace operations ----------------------------------------------
+
+    def open(self, name: str, mode: str = READ) -> Generator:
+        """Open a file; repeat opens under a delegation are local."""
+        handle = self._handles.get(name)
+        if handle is not None and handle.delegated and handle.mode == mode:
+            yield from self.cpu.execute(self.proto.delegated_open_us,
+                                        category="open")
+            handle.opens += 1
+            self.stats.incr("local_opens")
+            return handle
+        yield from self._syscall()
+        response = yield from self._call("open", {"name": name,
+                                                  "mode": mode})
+        handle = FileHandle(name, response.meta["size"],
+                            response.meta["mtime"],
+                            response.meta.get("delegation", False), mode)
+        self._handles[name] = handle
+        self.stats.incr("remote_opens")
+        return handle
+
+    def close(self, name: str) -> Generator:
+        """Close; local under a delegation, otherwise an RPC."""
+        handle = self._handles.get(name)
+        if handle is None:
+            raise KeyError(f"close of unopened file {name!r}")
+        handle.opens -= 1
+        if handle.delegated:
+            yield from self.cpu.execute(self.proto.delegated_open_us,
+                                        category="open")
+            self.stats.incr("local_closes")
+            return
+        yield from self._syscall()
+        yield from self._call("close", {"name": name})
+        if handle.opens <= 0:
+            del self._handles[name]
+        self.stats.incr("remote_closes")
+
+    def getattr(self, name: str) -> Generator:
+        """Fetch a file's attributes (size, mtime) via RPC."""
+        yield from self._syscall()
+        response = yield from self._call("getattr", {"name": name})
+        return {"size": response.meta["size"],
+                "mtime": response.meta["mtime"]}
+
+    def lock(self, name: str, mode: str = "exclusive") -> Generator:
+        """Acquire an advisory whole-file lock (blocks until granted).
+
+        Mixing ORDMA- and RPC-based access weakens atomicity to one
+        memory word; explicit locks restore UNIX file I/O semantics
+        (Section 4.2.2)."""
+        yield from self._syscall()
+        yield from self._call("lock", {"name": name, "lock_mode": mode})
+        # A lock is a consistency barrier: locally cached blocks of the
+        # file may predate other clients' writes, so drop them.
+        self._lock_barrier(name)
+        self.stats.incr("locks")
+
+    def _lock_barrier(self, name: str) -> None:
+        """Hook: invalidate client-cached state for ``name`` (overridden
+        by caching clients)."""
+
+    def unlock(self, name: str) -> Generator:
+        """Release an advisory lock taken with :meth:`lock`."""
+        yield from self._syscall()
+        yield from self._call("unlock", {"name": name})
+        self.stats.incr("unlocks")
+
+    def create(self, name: str, size: int) -> Generator:
+        """Create a file of ``size`` bytes on the server."""
+        yield from self._syscall()
+        yield from self._call("create", {"name": name, "size": size})
+
+    def remove(self, name: str) -> Generator:
+        """Remove a file from the server namespace."""
+        yield from self._syscall()
+        yield from self._call("remove", {"name": name})
+
+    # -- data operations (concrete clients implement) ---------------------
+
+    def read(self, name: str, offset: int, nbytes: int,
+             app_buffer: Optional[Buffer] = None) -> Generator:
+        """Read ``nbytes`` at ``offset``; returns the payload object."""
+        raise NotImplementedError
+
+    def write(self, name: str, offset: int, nbytes: int) -> Generator:
+        """Write ``nbytes`` at ``offset`` from an application buffer."""
+        raise NotImplementedError
+
+    def read_async(self, name: str, offset: int, nbytes: int,
+                   app_buffer: Optional[Buffer] = None):
+        """Issue a read as a concurrent process (aio-style read-ahead)."""
+        return self.sim.process(
+            self.read(name, offset, nbytes, app_buffer),
+            name=f"{self.host.name}.aio")

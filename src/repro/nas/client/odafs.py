@@ -1,0 +1,158 @@
+"""Optimistic DAFS client.
+
+Extends the DAFS client with the three ODAFS principles (Section 4.2):
+
+(a) a directory of remote references to server cache memory, built lazily
+    from references the server piggybacks on every RPC response;
+(b) no eager invalidation — a stale reference faults at the server NIC
+    and only then gets dropped;
+(c) every ORDMA is issued prepared to catch the recoverable exception and
+    retry through RPC, whose response refreshes the reference.
+
+Cache-block fills therefore try: client cache (handled by the base class)
+-> ORDMA read of the server's cache block -> RPC.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ...cache.block_cache import CacheBlock
+from ...hw.host import Host
+from ...hw.nic import NotifyMode
+from ...hw.tpt import RemoteAccessFault
+from ...params import KB
+from ...proto.ordma import ORDMAInitiator
+from ..server.server import DAFS_PORT
+from .dafs import DAFSClient
+
+
+class ODAFSClient(DAFSClient):
+    """DAFS client with client-initiated Optimistic RDMA."""
+
+    def __init__(self, host: Host, server: str, port: int = DAFS_PORT,
+                 mode: NotifyMode = NotifyMode.POLL,
+                 cache_blocks: int = 64, cache_block_size: int = 4 * KB,
+                 directory_capacity: int = 1 << 20,
+                 directory_policy: str = "lru",
+                 rpc_read_mode: str = "direct"):
+        super().__init__(host, server, port=port, mode=mode,
+                         cache_blocks=cache_blocks,
+                         cache_block_size=cache_block_size,
+                         rpc_read_mode=rpc_read_mode)
+        if self.cache is None:
+            raise ValueError("ODAFS client requires a client file cache")
+        # Imported here to avoid a cycle at package import time.
+        from .directory import ORDMADirectory
+        self.directory = ORDMADirectory(directory_capacity,
+                                        policy=directory_policy)
+        self.ordma = ORDMAInitiator(host)
+
+    # -- reference harvesting ------------------------------------------------
+
+    def _absorb_refs(self, response) -> None:
+        """Store piggybacked (block index, ref) pairs in the directory."""
+        refs = response.meta.get("refs")
+        if not refs:
+            return
+        name = response.meta.get("refs_name")
+        for index, ref in refs:
+            self.directory.insert((name, index), ref)
+        self.stats.incr("refs_absorbed", len(refs))
+
+    def _remote_fill_rpc(self, name, index, block) -> Generator:
+        bs = self.cache_block_size
+        args = {"name": name, "offset": index * bs, "nbytes": bs,
+                "mode": self.rpc_read_mode}
+        if self.rpc_read_mode == "direct":
+            args["client_addr"] = block.buffer.base
+            args["client_cap"] = None
+        response = yield from self._call("read", args)
+        if self.rpc_read_mode == "direct":
+            data = block.buffer.data
+        else:
+            yield from self.cpu.copy(bs, cached=False)
+            data = response.data
+        self.cache.fill(block, data)
+        response.meta["refs_name"] = name
+        self._absorb_refs(response)
+        self.stats.incr("rpc_fills")
+        return data
+
+    def prefetch_refs(self, name: str) -> Generator:
+        """Eager directory building (Section 4.2 principle (a)): fetch
+        remote references for every cached block of ``name`` in one RPC.
+        Returns the number of references learned."""
+        response = yield from self._call("get_refs", {"name": name})
+        refs = response.meta.get("refs", ())
+        yield from self.cpu.execute(
+            self.proto.ordma_dir_op_us * max(1, len(refs)) * 0.1,
+            category="directory")
+        self._absorb_refs(response)
+        self.stats.incr("eager_ref_fetches")
+        return len(refs)
+
+    # -- the optimistic fill path ------------------------------------------------
+
+    def _fill_block(self, name: str, index: int,
+                    block: CacheBlock) -> Generator:
+        key = (name, index)
+        yield from self.cpu.execute(self.proto.ordma_dir_op_us,
+                                    category="directory")
+        ref = self.directory.probe(key)
+        if ref is not None:
+            try:
+                data = yield from self.ordma.read(ref, local=block.buffer)
+            except RemoteAccessFault:
+                # Stale reference: drop it and guarantee success via RPC,
+                # whose response carries a fresh reference (Section 4.2.1).
+                self.directory.invalidate(key)
+                self.stats.incr("ordma_faults")
+            else:
+                self.cache.fill(block, data)
+                yield from self.cpu.execute(self.proto.ordma_dir_op_us,
+                                            category="directory")
+                self.stats.incr("ordma_reads")
+                return
+        yield from self._remote_fill_rpc(name, index, block)
+
+    # -- optimistic writes (library extension; see Section 4.2.2) -----------
+
+    def write_optimistic(self, name: str, offset: int,
+                         nbytes: int) -> Generator:
+        """Write data via ORDMA when a reference is cached, then update
+        file metadata with a (smaller) RPC.
+
+        The paper identifies writes as a limitation of ORDMA because the
+        associated file state must still be updated at the server; this
+        implements that split: ORDMA moves the bytes, an explicit
+        'write' RPC with no payload settles mtime/block status.
+        """
+        bs = self.cache_block_size
+        if offset % bs or nbytes != bs:
+            raise ValueError("optimistic writes operate on whole blocks")
+        index = offset // bs
+        key = (name, index)
+        yield from self.cpu.execute(self.proto.ordma_dir_op_us,
+                                    category="directory")
+        ref = self.directory.probe(key)
+        if ref is not None:
+            try:
+                # Move the bytes; the block's logical content is settled
+                # by the metadata RPC below (version bump).
+                yield from self.ordma.write(ref, None)
+            except RemoteAccessFault:
+                self.directory.invalidate(key)
+                self.stats.incr("ordma_faults")
+            else:
+                # Metadata still needs the server CPU: a payload-free RPC.
+                response = yield from self._call(
+                    "write", {"name": name, "offset": offset, "nbytes": 0,
+                              "ordma_blocks": [index]})
+                response.meta["refs_name"] = name
+                self._absorb_refs(response)
+                if self.cache is not None:
+                    self.cache.invalidate(key)
+                self.stats.incr("ordma_writes")
+                return
+        yield from self.write(name, offset, nbytes)

@@ -1,0 +1,75 @@
+"""Advisory whole-file locks.
+
+ORDMA guarantees only single-word atomicity, while RPC-based access locks
+the file for the duration of the I/O; ODAFS therefore offers ORDMA's
+weaker semantics, and "for UNIX file I/O semantics, client applications
+should explicitly lock files for the duration of I/O" (Section 4.2.2).
+This module provides those explicit locks: server-side advisory locks in
+shared ("read") or exclusive ("write") mode, granted FIFO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..sim import Event, Simulator
+
+SHARED = "shared"
+EXCLUSIVE = "exclusive"
+
+
+class LockTable:
+    """FIFO-fair shared/exclusive locks, one per file name."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        #: name -> (mode, holders)
+        self._held: Dict[str, Tuple[str, List[str]]] = {}
+        #: name -> queue of (mode, owner, event)
+        self._waiting: Dict[str, Deque[Tuple[str, str, Event]]] = {}
+
+    def holders(self, name: str) -> List[str]:
+        held = self._held.get(name)
+        return list(held[1]) if held else []
+
+    def mode(self, name: str) -> Optional[str]:
+        held = self._held.get(name)
+        return held[0] if held else None
+
+    def acquire(self, name: str, owner: str, mode: str = EXCLUSIVE) -> Event:
+        """Request the lock; the returned event fires when granted."""
+        if mode not in (SHARED, EXCLUSIVE):
+            raise ValueError(f"bad lock mode: {mode}")
+        event = Event(self.sim)
+        queue = self._waiting.setdefault(name, deque())
+        queue.append((mode, owner, event))
+        self._grant(name)
+        return event
+
+    def release(self, name: str, owner: str) -> None:
+        held = self._held.get(name)
+        if held is None or owner not in held[1]:
+            raise KeyError(f"{owner!r} does not hold a lock on {name!r}")
+        held[1].remove(owner)
+        if not held[1]:
+            del self._held[name]
+        self._grant(name)
+
+    def _grant(self, name: str) -> None:
+        queue = self._waiting.get(name)
+        if not queue:
+            return
+        while queue:
+            mode, owner, event = queue[0]
+            held = self._held.get(name)
+            if held is None:
+                self._held[name] = (mode, [owner])
+            elif held[0] == SHARED and mode == SHARED:
+                held[1].append(owner)
+            else:
+                break  # head of queue must wait (FIFO fairness)
+            queue.popleft()
+            event.succeed(name)
+        if not queue:
+            self._waiting.pop(name, None)

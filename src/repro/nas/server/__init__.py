@@ -1,0 +1,22 @@
+"""File servers and the server file cache."""
+
+from .filecache import ServerBlock, ServerFileCache
+from .server import (
+    DAFS_PORT,
+    NFS_PORT,
+    BaseFileServer,
+    DAFSServer,
+    NFSServer,
+    ODAFSServer,
+)
+
+__all__ = [
+    "BaseFileServer",
+    "DAFSServer",
+    "DAFS_PORT",
+    "NFSServer",
+    "NFS_PORT",
+    "ODAFSServer",
+    "ServerBlock",
+    "ServerFileCache",
+]

@@ -1,0 +1,370 @@
+"""File servers: NFS (UDP), DAFS (VI), and Optimistic DAFS.
+
+One handler set serves all five client systems; what differs is the
+transport, the reply path (inline copy, scatter/gather inline, or
+server-initiated RDMA), and — for ODAFS — exporting cache blocks and
+piggybacking remote references on read replies (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ...fs.disk import Disk
+from ...fs.files import FileSystem
+from ...hw.host import Host
+from ...hw.nic import NotifyMode
+from ...proto.messaging import GMEndpoint
+from ...proto.rpc import RPC_HEADER_BYTES, RPCReply, RPCRequest, RPCServer
+from ...proto.udp import UDPStack
+from ...proto.vi import VIEndpoint
+from ...sim import Counter
+from ..delegation import READ, DelegationTable
+from ..locks import EXCLUSIVE, LockTable
+from .filecache import BlockKey, ServerBlock, ServerFileCache
+
+#: Well-known service ports.
+NFS_PORT = 2049
+DAFS_PORT = 10
+
+
+class BaseFileServer:
+    """Shared handler logic over an abstract transport."""
+
+    #: Whether read replies carry piggybacked remote references.
+    piggyback_refs = False
+
+    def __init__(self, host: Host, fs: FileSystem, disk: Disk,
+                 cache: ServerFileCache, transport, name: str):
+        self.host = host
+        self.fs = fs
+        self.disk = disk
+        self.cache = cache
+        self.name = name
+        self.delegations = DelegationTable()
+        self.locks = LockTable(host.sim)
+        self.stats = Counter()
+        self.rpc = RPCServer(host, transport, name=name)
+        for proc, handler in [
+            ("open", self._h_open), ("close", self._h_close),
+            ("read", self._h_read), ("write", self._h_write),
+            ("getattr", self._h_getattr), ("create", self._h_create),
+            ("remove", self._h_remove), ("lookup", self._h_lookup),
+            ("read_batch", self._h_read_batch),
+            ("lock", self._h_lock), ("unlock", self._h_unlock),
+            ("get_refs", self._h_get_refs),
+        ]:
+            self.rpc.register(proc, handler)
+
+    def start(self) -> None:
+        self.rpc.start()
+
+    # -- helpers -----------------------------------------------------------
+
+    def warm(self, name: str) -> None:
+        """Preload every block of ``name`` into the file cache (the
+        'file warm in the server cache' setup of Section 5)."""
+        for index in range(self.fs.block_count(name)):
+            self.cache.insert((name, index),
+                              self.fs.block_content(name, index))
+
+    def _get_block(self, key: BlockKey) -> Generator:
+        """Fetch one block through the cache, reading disk on a miss."""
+        block = self.cache.lookup(key)
+        if block is not None:
+            return block
+        proto = self.host.params.storage
+        yield from self.host.cpu.execute(proto.disk_op_us, category="disk")
+        yield from self.disk.read(self.cache.block_size)
+        data = self.fs.block_content(*key)
+        return self.cache.insert(key, data)
+
+    def _finish(self, request: RPCRequest, reply: RPCReply) -> RPCReply:
+        """Attach piggybacked delegation recalls for this client."""
+        recalls = self.delegations.take_recalls(request.client)
+        if recalls:
+            reply.meta["recall"] = recalls
+        return reply
+
+    def _rdma_completion(self) -> Generator:
+        """Host-side handling of a local RDMA completion event."""
+        yield from self.host.cpu.poll()
+
+    # -- handlers -------------------------------------------------------------
+
+    def _h_open(self, srv: RPCServer, request: RPCRequest) -> Generator:
+        proto = self.host.params.proto
+        yield from self.host.cpu.execute(proto.fs_op_us, category="fs")
+        name = request.args["name"]
+        if not self.fs.exists(name):
+            return self._finish(request,
+                                RPCReply(meta={"rpc_error": f"ENOENT {name}"}))
+        inode = self.fs.lookup(name)
+        mode = request.args.get("mode", READ)
+        delegated = self.delegations.grant(name, request.client, mode)
+        self.stats.incr("opens")
+        return self._finish(request, RPCReply(meta={
+            "size": inode.size, "mtime": inode.mtime,
+            "delegation": delegated,
+        }))
+
+    def _h_close(self, srv: RPCServer, request: RPCRequest) -> Generator:
+        proto = self.host.params.proto
+        yield from self.host.cpu.execute(proto.fs_op_us / 2, category="fs")
+        self.delegations.release(request.args["name"], request.client)
+        self.stats.incr("closes")
+        return self._finish(request, RPCReply())
+
+    def _h_getattr(self, srv: RPCServer, request: RPCRequest) -> Generator:
+        proto = self.host.params.proto
+        yield from self.host.cpu.execute(proto.fs_op_us / 2, category="fs")
+        name = request.args["name"]
+        if not self.fs.exists(name):
+            return self._finish(request,
+                                RPCReply(meta={"rpc_error": f"ENOENT {name}"}))
+        inode = self.fs.lookup(name)
+        self.stats.incr("getattrs")
+        return self._finish(request, RPCReply(meta={
+            "size": inode.size, "mtime": inode.mtime}))
+
+    def _h_lookup(self, srv: RPCServer, request: RPCRequest) -> Generator:
+        # Directory name lookups need real server processing and are not
+        # ORDMA-able (Section 4.2.2) — always a full-cost RPC.
+        proto = self.host.params.proto
+        yield from self.host.cpu.execute(proto.fs_op_us, category="fs")
+        name = request.args["name"]
+        self.stats.incr("lookups")
+        if not self.fs.exists(name):
+            return self._finish(request,
+                                RPCReply(meta={"rpc_error": f"ENOENT {name}"}))
+        return self._finish(request, RPCReply(meta={"found": True}))
+
+    def _h_create(self, srv: RPCServer, request: RPCRequest) -> Generator:
+        proto = self.host.params.proto
+        yield from self.host.cpu.execute(proto.fs_op_us, category="fs")
+        self.fs.create(request.args["name"], request.args.get("size", 0))
+        self.stats.incr("creates")
+        return self._finish(request, RPCReply())
+
+    def _h_remove(self, srv: RPCServer, request: RPCRequest) -> Generator:
+        proto = self.host.params.proto
+        yield from self.host.cpu.execute(proto.fs_op_us, category="fs")
+        name = request.args["name"]
+        for index in range(self.fs.block_count(name)):
+            self.cache.invalidate((name, index))
+        self.fs.remove(name)
+        self.stats.incr("removes")
+        return self._finish(request, RPCReply())
+
+    def _h_read(self, srv: RPCServer, request: RPCRequest) -> Generator:
+        """Read: reply inline, inline from registered memory, or by
+        server-initiated RDMA write ('direct'), per ``args['mode']``."""
+        args = request.args
+        name, offset, nbytes = args["name"], args["offset"], args["nbytes"]
+        mode = args.get("mode", "inline")
+        cpu = self.host.cpu
+        proto = self.host.params.proto
+        yield from cpu.execute(proto.fs_op_us, category="fs")
+        indices = self.fs.blocks_in_range(name, offset, nbytes)
+        blocks: List[ServerBlock] = []
+        for index in indices:
+            block = yield from self._get_block((name, index))
+            blocks.append(block)
+        if len(blocks) > 1:
+            # Gathering additional cache blocks into one transfer.
+            yield from cpu.execute(0.5 * (len(blocks) - 1), category="fs")
+        payload: Any = (blocks[0].data if len(blocks) == 1
+                        else tuple(b.data for b in blocks))
+        meta: Dict[str, Any] = {"size": nbytes}
+        if self.piggyback_refs:
+            refs = []
+            for index, block in zip(indices, blocks):
+                ref = self.cache.ref_for(block)
+                if ref is not None:
+                    refs.append((index, ref))
+            if refs:
+                meta["refs"] = refs
+        self.stats.incr("reads")
+        self.stats.incr("read_bytes", nbytes)
+        if mode == "direct":
+            yield from cpu.execute(proto.rdma_issue_us, category="rdma")
+            yield from self.host.nic.rdma_put(
+                request.client, args["client_addr"], nbytes, data=payload,
+                capability=args.get("client_cap"))
+            yield from self._rdma_completion()
+            self.stats.incr("reads_direct")
+            return self._finish(request, RPCReply(meta=meta))
+        if mode == "inline":
+            # Serving inline from the file cache copies the payload into
+            # the communication buffer (the Table 3 'in cache' case) —
+        # unless the client asked for scatter/gather DMA straight from
+            # the cache pages (the pre-posting reply path).
+            if not args.get("sg"):
+                yield from cpu.copy(nbytes, cached=False)
+            self.stats.incr("reads_inline")
+            return self._finish(request,
+                                RPCReply(inline_bytes=nbytes, data=payload,
+                                         meta=meta))
+        if mode == "inline-mem":
+            # Payload already resides in registered communication memory
+            # (the Table 3 'in mem.' case): no server-side copy.
+            self.stats.incr("reads_inline_mem")
+            return self._finish(request,
+                                RPCReply(inline_bytes=nbytes, data=payload,
+                                         meta=meta))
+        return self._finish(request,
+                            RPCReply(meta={"rpc_error": f"bad mode {mode}"}))
+
+    def _h_lock(self, srv: RPCServer, request: RPCRequest) -> Generator:
+        """Advisory whole-file lock (Section 4.2.2: explicit locks restore
+        UNIX I/O semantics under mixed ORDMA/RPC access). Blocks until
+        granted; FIFO-fair."""
+        proto = self.host.params.proto
+        yield from self.host.cpu.execute(proto.fs_op_us / 2, category="fs")
+        name = request.args["name"]
+        mode = request.args.get("lock_mode", EXCLUSIVE)
+        grant = self.locks.acquire(name, request.client, mode)
+        yield grant
+        self.stats.incr("locks")
+        return self._finish(request, RPCReply(meta={"locked": name,
+                                                    "lock_mode": mode}))
+
+    def _h_unlock(self, srv: RPCServer, request: RPCRequest) -> Generator:
+        proto = self.host.params.proto
+        yield from self.host.cpu.execute(proto.fs_op_us / 2, category="fs")
+        name = request.args["name"]
+        try:
+            self.locks.release(name, request.client)
+        except KeyError:
+            return self._finish(request, RPCReply(
+                meta={"rpc_error": f"not locked by {request.client}"}))
+        self.stats.incr("unlocks")
+        return self._finish(request, RPCReply(meta={"unlocked": name}))
+
+    def _h_get_refs(self, srv: RPCServer, request: RPCRequest) -> Generator:
+        """Eager directory building (Section 4.2 principle (a)): return
+        remote references for a file's currently cached blocks in one RPC,
+        instead of waiting for per-read piggybacks."""
+        proto = self.host.params.proto
+        yield from self.host.cpu.execute(proto.fs_op_us, category="fs")
+        name = request.args["name"]
+        if not self.fs.exists(name):
+            return self._finish(request,
+                                RPCReply(meta={"rpc_error": f"ENOENT {name}"}))
+        refs = []
+        if self.piggyback_refs:
+            for index in range(self.fs.block_count(name)):
+                block = self.cache.lookup((name, index))
+                if block is None:
+                    continue
+                ref = self.cache.ref_for(block)
+                if ref is not None:
+                    refs.append((index, ref))
+            # Assembling the reference list costs the server per entry.
+            yield from self.host.cpu.execute(0.05 * len(refs),
+                                             category="fs")
+        self.stats.incr("get_refs")
+        # Each reference is ~32 bytes on the wire.
+        return self._finish(request, RPCReply(
+            inline_bytes=32 * len(refs),
+            meta={"refs": refs, "refs_name": name}))
+
+    def _h_read_batch(self, srv: RPCServer, request: RPCRequest) -> Generator:
+        """Batch I/O (Section 2.2): one RPC triggers a set of server-issued
+        RDMA writes, amortizing the client's per-I/O RPC cost."""
+        args = request.args
+        name = args["name"]
+        cpu = self.host.cpu
+        proto = self.host.params.proto
+        yield from cpu.execute(proto.fs_op_us, category="fs")
+        total = 0
+        for extent in args["extents"]:
+            offset, nbytes = extent["offset"], extent["nbytes"]
+            yield from cpu.execute(2.0, category="fs")  # per-extent setup
+            blocks = []
+            for index in self.fs.blocks_in_range(name, offset, nbytes):
+                block = yield from self._get_block((name, index))
+                blocks.append(block)
+            payload = (blocks[0].data if len(blocks) == 1
+                       else tuple(b.data for b in blocks))
+            yield from cpu.execute(proto.rdma_issue_us, category="rdma")
+            yield from self.host.nic.rdma_put(
+                request.client, extent["client_addr"], nbytes, data=payload,
+                capability=extent.get("client_cap"))
+            yield from self._rdma_completion()
+            total += nbytes
+        self.stats.incr("batch_reads")
+        self.stats.incr("read_bytes", total)
+        return self._finish(request, RPCReply(meta={"size": total}))
+
+    def _h_write(self, srv: RPCServer, request: RPCRequest) -> Generator:
+        """Write: payload arrives inline with the request; the server
+        copies it into the file cache, updates metadata, and replies.
+        (Writes always involve the server CPU — Section 4.2.2.)"""
+        args = request.args
+        name, offset, nbytes = args["name"], args["offset"], args["nbytes"]
+        cpu = self.host.cpu
+        proto = self.host.params.proto
+        yield from cpu.execute(proto.fs_op_us, category="fs")
+        if nbytes > 0:
+            yield from cpu.copy(nbytes, cached=False)
+        meta: Dict[str, Any] = {}
+        refs: List[Tuple[int, Any]] = []
+        # An ORDMA write already moved the bytes into the exported block;
+        # this RPC settles the metadata (mtime, block status) for those
+        # blocks (Section 4.2.2: writes always need the server CPU).
+        indices = (args["ordma_blocks"] if "ordma_blocks" in args
+                   else self.fs.blocks_in_range(name, offset, nbytes))
+        for index in indices:
+            data = self.fs.write_block(name, index, now=self.host.sim.now)
+            block = self.cache.insert((name, index), data)
+            if self.piggyback_refs:
+                ref = self.cache.ref_for(block)
+                if ref is not None:
+                    refs.append((index, ref))
+        if refs:
+            meta["refs"] = refs
+        inode = self.fs.lookup(name)
+        meta.update({"size": inode.size, "mtime": inode.mtime})
+        self.stats.incr("writes")
+        self.stats.incr("write_bytes", nbytes)
+        return self._finish(request, RPCReply(meta=meta))
+
+
+class NFSServer(BaseFileServer):
+    """NFS-family server over UDP (standard, pre-posting and hybrid
+    clients all talk to this one; the request's mode/sg flags select the
+    reply path)."""
+
+    def __init__(self, host: Host, fs: FileSystem, disk: Disk,
+                 cache: ServerFileCache, port: int = NFS_PORT):
+        stack = UDPStack(host)
+        super().__init__(host, fs, disk, cache, stack.socket(port),
+                         name=f"{host.name}.nfsd")
+
+
+class DAFSServer(BaseFileServer):
+    """DAFS kernel server over a VI endpoint (Section 5: [21])."""
+
+    def __init__(self, host: Host, fs: FileSystem, disk: Disk,
+                 cache: ServerFileCache, port: int = DAFS_PORT,
+                 mode: NotifyMode = NotifyMode.BLOCK,
+                 slots: int = GMEndpoint.DEFAULT_SLOTS):
+        self.endpoint = VIEndpoint(host, port, mode=mode, slots=slots)
+        self.notify_mode = mode
+        super().__init__(host, fs, disk, cache, self.endpoint,
+                         name=f"{host.name}.dafsd")
+
+    def _rdma_completion(self) -> Generator:
+        if self.notify_mode is NotifyMode.BLOCK:
+            yield from self.host.cpu.interrupt(
+                coalesce_window_us=self.host.params.nic.interrupt_coalesce_us)
+            yield from self.host.cpu.wakeup()
+        else:
+            yield from self.host.cpu.poll()
+
+
+class ODAFSServer(DAFSServer):
+    """Optimistic DAFS server: exported cache + piggybacked references."""
+
+    piggyback_refs = True

@@ -1,0 +1,22 @@
+"""Network fabric: frames, links, and the cluster switch."""
+
+from .link import NetworkPort, Switch
+from .packet import (
+    NIC_ONLY_KINDS,
+    Frame,
+    Message,
+    MsgKind,
+    Reassembler,
+    fragment,
+)
+
+__all__ = [
+    "Frame",
+    "Message",
+    "MsgKind",
+    "NIC_ONLY_KINDS",
+    "NetworkPort",
+    "Reassembler",
+    "Switch",
+    "fragment",
+]

@@ -1,0 +1,100 @@
+"""Links and the cluster switch.
+
+The testbed is four PCs on a 2 Gb/s full-duplex switch (Section 5). Each
+host owns a transmit pipe and a receive pipe at link rate; the switch is
+cut-through with a fixed forwarding latency. Contention appears exactly
+where it did on the testbed: a server streaming to two clients serializes
+on the server's transmit link (Fig. 7's saturation point).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import random
+
+from ..params import NetworkParams
+from ..sim import BandwidthPipe, Simulator
+from .packet import Frame
+
+FrameHandler = Callable[[Frame], None]
+
+
+class NetworkPort:
+    """One host's full-duplex attachment to the fabric."""
+
+    def __init__(self, sim: Simulator, params: NetworkParams, name: str):
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self.tx = BandwidthPipe(sim, params.link_bw, name=f"{name}.tx")
+        self.rx = BandwidthPipe(sim, params.link_bw, name=f"{name}.rx")
+        self._handler: FrameHandler = _unattached
+
+    def set_handler(self, handler: FrameHandler) -> None:
+        self._handler = handler
+
+    def deliver(self, frame: Frame) -> None:
+        self._handler(frame)
+
+
+def _unattached(frame: Frame) -> None:
+    raise RuntimeError(f"frame for {frame.dst!r} arrived at unattached port")
+
+
+class Switch:
+    """Cut-through switch connecting all hosts."""
+
+    def __init__(self, sim: Simulator, params: NetworkParams,
+                 name: str = "switch",
+                 rng: "random.Random" = None):
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self._ports: Dict[str, NetworkPort] = {}
+        self.frames_forwarded = 0
+        self.frames_dropped = 0
+        #: Loss injection (params.loss_probability) for transport-recovery
+        #: experiments; Myrinet itself is effectively lossless, so GM-based
+        #: protocols assume zero loss and only the TCP ablations raise it.
+        self._rng = rng or random.Random(0xFA57)
+
+    def attach(self, host_name: str) -> NetworkPort:
+        if host_name in self._ports:
+            raise ValueError(f"host {host_name!r} already attached")
+        port = NetworkPort(self.sim, self.params, name=host_name)
+        self._ports[host_name] = port
+        return port
+
+    def port(self, host_name: str) -> NetworkPort:
+        return self._ports[host_name]
+
+    def transmit(self, src: str, frame: Frame) -> None:
+        """Serialize ``frame`` on the source link, then forward it.
+
+        Called from NIC context. The frame occupies the sender's transmit
+        pipe, crosses the switch after the forwarding latency, queues on the
+        destination's receive pipe, and is finally handed to the receiving
+        NIC.
+        """
+        if frame.dst not in self._ports:
+            raise KeyError(f"unknown destination host {frame.dst!r}")
+        self.sim.process(self._transmit(src, frame),
+                         name=f"xmit:{src}->{frame.dst}")
+
+    def _transmit(self, src: str, frame: Frame):
+        src_port = self._ports[src]
+        dst_port = self._ports[frame.dst]
+        yield src_port.tx.transfer(frame.wire_bytes)
+        hop = self.params.switch_us + 2 * self.params.propagation_us
+        yield self.sim.timeout(hop)
+        # Cut-through: with an idle receive link the bits streamed in while
+        # the sender serialized, so arrival is immediate; under convergence
+        # the frame queues for the receive link's full serialization time.
+        if (self.params.loss_probability > 0.0
+                and self._rng.random() < self.params.loss_probability):
+            self.frames_dropped += 1
+            return
+        yield dst_port.rx.transfer_cut_through(frame.wire_bytes)
+        self.frames_forwarded += 1
+        dst_port.deliver(frame)

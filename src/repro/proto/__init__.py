@@ -1,0 +1,22 @@
+"""Protocol stacks: GM/VI messaging, UDP/IP, RPC, and Optimistic RDMA."""
+
+from .messaging import GMEndpoint
+from .ordma import ORDMAInitiator, RemoteRef
+from .rpc import RPC_HEADER_BYTES, RPCClient, RPCError, RPCReply, RPCRequest, RPCServer
+from .udp import UDPSocket, UDPStack
+from .vi import VIEndpoint
+
+__all__ = [
+    "GMEndpoint",
+    "ORDMAInitiator",
+    "RPCClient",
+    "RPCError",
+    "RPCReply",
+    "RPCRequest",
+    "RPCServer",
+    "RPC_HEADER_BYTES",
+    "RemoteRef",
+    "UDPSocket",
+    "UDPStack",
+    "VIEndpoint",
+]

@@ -1,0 +1,55 @@
+"""Messaging endpoints over the GM-like NIC interface.
+
+A :class:`GMEndpoint` is a queue pair on one GM port: it pre-posts a ring
+of receive buffers, exposes ``send``/``recv`` generators, and reposts
+buffers as messages are consumed. The VI layer (:mod:`repro.proto.vi`) is a
+thin cost shim over this, exactly as VI-GM was over GM on the testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from ..hw.host import Host
+from ..hw.nic import NotifyMode
+from ..params import KB
+
+
+class GMEndpoint:
+    """A send/receive queue pair on a GM port."""
+
+    #: Default receive ring: enough slots for deep read-ahead pipelines.
+    DEFAULT_SLOTS = 128
+    #: Receive buffers must hold the largest inline message (512 KB reads
+    #: plus headers).
+    DEFAULT_BUF_SIZE = 520 * KB
+
+    def __init__(self, host: Host, port: int,
+                 mode: NotifyMode = NotifyMode.POLL,
+                 slots: int = DEFAULT_SLOTS,
+                 buf_size: int = DEFAULT_BUF_SIZE):
+        self.host = host
+        self.port = port
+        self.mode = mode
+        self.cq = host.nic.open_port(port, mode=mode)
+        self._buf_size = buf_size
+        for i in range(slots):
+            buf = host.mem.alloc(buf_size, name=f"{host.name}:p{port}:rx{i}")
+            buf.pin()  # receive rings are registered and pinned
+            host.nic.post_receive(port, buf)
+
+    def send(self, dst: str, nbytes: int, data: Any = None,
+             meta: Optional[Dict[str, Any]] = None) -> Generator:
+        """Queue a message to ``dst`` (returns after the doorbell)."""
+        yield from self.host.nic.gm_send(dst, self.port, nbytes, data=data,
+                                         meta=meta)
+
+    def recv(self) -> Generator:
+        """Wait for the next message; returns the :class:`Message`."""
+        comp = yield from self.cq.get()
+        # Recycle the consumed buffer back onto the receive ring.
+        buffer = comp.context
+        if buffer is not None:
+            buffer.data = None
+            self.host.nic.post_receive(self.port, buffer)
+        return comp.message

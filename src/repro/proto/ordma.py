@@ -1,0 +1,66 @@
+"""Optimistic RDMA: client-initiated remote memory access without RPC.
+
+The initiator holds a :class:`RemoteRef` — a remote virtual address plus
+its protecting capability, collected from piggybacked RPC responses — and
+issues gets/puts that the *server CPU never sees* (Section 4). The access
+succeeds only if the reference is still valid, resident and unlocked at
+the target; otherwise the target NIC reports a recoverable exception and
+the caller falls back to RPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..hw.host import Host
+from ..hw.memory import Buffer
+from ..sim import Counter
+
+
+@dataclass(frozen=True)
+class RemoteRef:
+    """A reference to exported server memory, as piggybacked to clients."""
+
+    host: str          #: server host name
+    addr: int          #: virtual address in the server's export space
+    nbytes: int        #: length of the exported block
+    capability: Optional[bytes] = None
+
+    def __post_init__(self):
+        if self.nbytes <= 0:
+            raise ValueError(f"empty remote reference: {self.nbytes}")
+
+
+class ORDMAInitiator:
+    """Client-side issue path for optimistic gets and puts."""
+
+    def __init__(self, host: Host):
+        self.host = host
+        self.stats = Counter()
+
+    def read(self, ref: RemoteRef, local: Optional[Buffer] = None,
+             nbytes: Optional[int] = None) -> Generator:
+        """Optimistic read of ``ref`` into ``local``; returns the payload.
+
+        Raises :class:`repro.hw.RemoteAccessFault` at the yield point when
+        the server NIC rejects the access; callers retry via RPC.
+        """
+        self.stats.incr("reads")
+        data = yield from self.host.nic.rdma_get(
+            ref.host, ref.addr, nbytes or ref.nbytes, local_buffer=local,
+            capability=ref.capability, optimistic=True)
+        return data
+
+    def write(self, ref: RemoteRef, data: Any,
+              nbytes: Optional[int] = None) -> Generator:
+        """Optimistic write of ``data`` to ``ref``.
+
+        ORDMA writes update data only; file metadata (mtime, block status)
+        still needs RPC, which is why small read-write ratios limit ODAFS
+        (Section 4.2.2).
+        """
+        self.stats.incr("writes")
+        yield from self.host.nic.rdma_put(
+            ref.host, ref.addr, nbytes or ref.nbytes, data=data,
+            capability=ref.capability, optimistic=True)

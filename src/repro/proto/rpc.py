@@ -1,0 +1,208 @@
+"""Transactional RPC over any messaging transport.
+
+RPC is the paper's baseline control path (Section 2.1): requests carry a
+transaction number (xid), the server dispatches a handler, and the response
+either in-lines the data payload, triggers a server-initiated RDMA, or is
+header-split by the NIC against a pre-posted tagged buffer (RDDP-RPC).
+
+The RPC transaction number doubles as the RDDP-RPC buffer tag, exactly as
+in Section 2.2: ``call(..., rddp_buffer=...)`` pins and tags the buffer,
+sends the xid, and the NIC places the matching response payload directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..hw.host import Host
+from ..hw.memory import Buffer
+from ..net.packet import Message
+from ..sim import Counter, Event, trace_emit
+
+#: Marshalled size of request/response headers on the wire.
+RPC_HEADER_BYTES = 128
+
+
+class RPCError(RuntimeError):
+    """Protocol-level RPC failure (unknown procedure, bad reply)."""
+
+
+class RPCRequest:
+    """Server-side view of one incoming call."""
+
+    __slots__ = ("message", "proc", "args", "xid", "client")
+
+    def __init__(self, message: Message):
+        self.message = message
+        meta = message.meta
+        self.proc: str = meta["rpc_proc"]
+        self.args: Dict[str, Any] = meta.get("rpc_args", {})
+        self.xid: int = meta["rpc_xid"]
+        self.client: str = message.src
+
+
+class RPCReply:
+    """What a handler returns: optional inline payload + response meta."""
+
+    __slots__ = ("inline_bytes", "data", "meta")
+
+    def __init__(self, inline_bytes: int = 0, data: Any = None,
+                 meta: Optional[Dict[str, Any]] = None):
+        if inline_bytes < 0:
+            raise ValueError(f"negative inline payload: {inline_bytes}")
+        self.inline_bytes = inline_bytes
+        self.data = data
+        self.meta = meta or {}
+
+
+#: A handler is a generator taking (server, request) and returning RPCReply.
+Handler = Callable[["RPCServer", RPCRequest], Generator]
+
+
+class RPCClient:
+    """Issues calls over a transport; supports many outstanding calls."""
+
+    _xids = itertools.count(1)
+
+    def __init__(self, host: Host, transport, server: str,
+                 kernel: bool = False):
+        """``kernel=True`` charges the kernel RPC layer's extra per-call
+        cost (the NFS-family clients; Section 5.1's NFS hybrid burns more
+        CPU per RPC than the user-level DAFS client)."""
+        self.host = host
+        self.transport = transport
+        self.server = server
+        self.kernel = kernel
+        self.stats = Counter()
+        self._pending: Dict[int, Event] = {}
+        host.sim.process(self._recv_loop(), name=f"{host.name}.rpc-recv")
+
+    def call(self, proc: str, args: Optional[Dict[str, Any]] = None,
+             req_bytes: int = RPC_HEADER_BYTES,
+             rddp_buffer: Optional[Buffer] = None,
+             rddp_untagged: bool = False) -> Generator:
+        """Issue one RPC; yields until the response arrives.
+
+        ``rddp_buffer`` activates RDDP-RPC: the buffer is pinned and tagged
+        with this call's xid so the NIC header-splits the response payload
+        straight into it (registration is on-the-fly, per I/O, as kernel
+        clients must — Section 3). ``rddp_untagged`` instead asks the NIC
+        to split the payload into intermediate page-aligned buffers with
+        no pre-posting; the caller re-maps pages afterwards (Section 2.2's
+        untagged variant).
+        """
+        cpu = self.host.cpu
+        proto = self.host.params.proto
+        xid = next(self._xids)
+        yield from cpu.execute(proto.rpc_marshal_us, category="rpc")
+        if self.kernel:
+            yield from cpu.execute(proto.kernel_rpc_extra_us, category="rpc")
+        meta: Dict[str, Any] = {
+            "rpc": "req", "rpc_proc": proc, "rpc_xid": xid,
+            "rpc_args": args or {},
+        }
+        if rddp_buffer is not None:
+            host_p = self.host.params.host
+            yield from cpu.execute(
+                rddp_buffer.page_count * host_p.register_page_us,
+                category="register")
+            rddp_buffer.pin()
+            yield from self.host.nic.rddp_post_tag(xid, rddp_buffer)
+            meta["rddp_xid"] = xid
+        if rddp_untagged:
+            meta["rddp_untagged"] = True
+        done = Event(self.host.sim)
+        self._pending[xid] = done
+        self.stats.incr("calls")
+        trace_emit(self.host.sim, self.host.name, "rpc-call", proc=proc,
+                   xid=xid, server=self.server)
+        yield from self.transport.send(self.server, req_bytes, meta=meta)
+        response: Message = yield done
+        yield from cpu.execute(proto.rpc_marshal_us, category="rpc")
+        if self.kernel:
+            yield from cpu.execute(proto.kernel_rpc_extra_us, category="rpc")
+        if rddp_buffer is not None:
+            host_p = self.host.params.host
+            rddp_buffer.unpin()
+            self.host.nic.rddp_cancel_tag(xid)
+            yield from cpu.execute(
+                rddp_buffer.page_count * host_p.deregister_page_us,
+                category="register")
+        if "rpc_error" in response.meta:
+            raise RPCError(response.meta["rpc_error"])
+        return response
+
+    def _recv_loop(self) -> Generator:
+        while True:
+            msg = yield from self.transport.recv()
+            xid = msg.meta.get("rpc_xid")
+            pending = self._pending.pop(xid, None)
+            if pending is None:
+                self.stats.incr("orphan_replies")
+                continue
+            self.stats.incr("replies")
+            pending.succeed(msg)
+
+
+class RPCServer:
+    """Dispatches registered handlers; one concurrent task per request."""
+
+    def __init__(self, host: Host, transport, name: str = "rpc-server"):
+        self.host = host
+        self.transport = transport
+        self.name = name
+        self.stats = Counter()
+        self._handlers: Dict[str, Handler] = {}
+        self._started = False
+
+    def register(self, proc: str, handler: Handler) -> None:
+        if proc in self._handlers:
+            raise RPCError(f"handler for {proc!r} already registered")
+        self._handlers[proc] = handler
+
+    def start(self) -> None:
+        if self._started:
+            raise RPCError("server already started")
+        self._started = True
+        self.host.sim.process(self._loop(), name=f"{self.name}.loop")
+
+    def _loop(self) -> Generator:
+        while True:
+            msg = yield from self.transport.recv()
+            self.host.sim.process(self._serve(msg),
+                                  name=f"{self.name}.serve")
+
+    def _serve(self, msg: Message) -> Generator:
+        cpu = self.host.cpu
+        proto = self.host.params.proto
+        request = RPCRequest(msg)
+        self.stats.incr("requests")
+        trace_emit(self.host.sim, self.host.name, "rpc-serve",
+                   proc=request.proc, xid=request.xid,
+                   client=request.client)
+        self.stats.incr(f"proc:{request.proc}")
+        yield from cpu.execute(proto.rpc_marshal_us, category="rpc")
+        handler = self._handlers.get(request.proc)
+        if handler is None:
+            reply = RPCReply(meta={"rpc_error": f"bad proc {request.proc!r}"})
+        else:
+            reply = yield from handler(self, request)
+        yield from cpu.execute(proto.rpc_marshal_us, category="rpc")
+        resp_meta = dict(reply.meta)
+        resp_meta.update({"rpc": "resp", "rpc_xid": request.xid})
+        if msg.meta.get("rddp_xid") is not None and reply.inline_bytes > 0:
+            # RDDP-RPC: echo the tag; carry the payload in the response so
+            # the client NIC can header-split it into the tagged buffer.
+            resp_meta["rddp_xid"] = msg.meta["rddp_xid"]
+            resp_meta["rddp_payload"] = reply.data
+            resp_meta["rddp_bytes"] = reply.inline_bytes
+        elif msg.meta.get("rddp_untagged") and reply.inline_bytes > 0:
+            # Untagged variant: mark the response splittable so the client
+            # NIC deposits the payload in page-aligned kernel buffers.
+            resp_meta["rddp_untagged"] = True
+            resp_meta["rddp_payload"] = reply.data
+            resp_meta["rddp_bytes"] = reply.inline_bytes
+        yield from self.transport.send(
+            request.client, RPC_HEADER_BYTES + reply.inline_bytes,
+            data=reply.data, meta=resp_meta)

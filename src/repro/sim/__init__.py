@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel used by every model in :mod:`repro`."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    StopSimulation,
+    Timeout,
+)
+from .monitor import BusyTracker, Counter, LatencyStats, ThroughputMeter
+from .rand import RandomStreams
+from .resources import BandwidthPipe, Request, Resource, Store
+from .trace import TraceEvent, Tracer, emit as trace_emit
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BandwidthPipe",
+    "BusyTracker",
+    "Counter",
+    "Event",
+    "Interrupt",
+    "LatencyStats",
+    "Process",
+    "RandomStreams",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Store",
+    "ThroughputMeter",
+    "Timeout",
+    "TraceEvent",
+    "Tracer",
+    "trace_emit",
+]

@@ -1,0 +1,365 @@
+"""Discrete-event simulation kernel.
+
+The simulator advances virtual time in microseconds. Model code is written
+as generator *processes* that ``yield`` events: timeouts, resource requests,
+other processes, or composite conditions. A yielded event suspends the
+process until the event triggers; a failed event raises its exception inside
+the process at the yield point (this is how recoverable ORDMA network
+exceptions reach client code).
+
+The kernel is deterministic: simultaneous events fire in schedule order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel itself."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* at most once, either with :meth:`succeed` (a
+    value) or :meth:`fail` (an exception). Callbacks added before the
+    trigger run when the simulator dispatches the event; callbacks added
+    afterwards raise, because a one-shot event never fires again.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled",
+                 "_deferred")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        #: True for events whose value is preset but which fire at a known
+        #: *future* time (Timeout): they must not count as triggered yet.
+        self._deferred = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING and not self._deferred
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = exc
+        self._ok = False
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            raise SimulationError("event already processed; cannot add callback")
+        self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.3f}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        self._deferred = True  # fires at now + delay, not now
+        sim._schedule_event(self, delay)
+
+    def succeed(self, value: Any = None) -> "Event":
+        raise SimulationError("Timeout triggers itself; do not call succeed()")
+
+    def fail(self, exc: BaseException) -> "Event":
+        raise SimulationError("Timeout triggers itself; do not call fail()")
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it finishes.
+
+    The process event succeeds with the generator's return value, or fails
+    with the exception that escaped the generator. Waiting on a failed
+    process re-raises that exception in the waiter.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off the process at the current simulation time.
+        bootstrap = Event(sim)
+        bootstrap._value = None
+        bootstrap._ok = True
+        bootstrap.add_callback(self._resume)
+        sim._schedule_event(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._waiting_on is None:
+            raise SimulationError("cannot interrupt a process that has not started")
+        target = self._waiting_on
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        wakeup = Event(self.sim)
+        wakeup._value = Interrupt(cause)
+        wakeup._ok = False
+        wakeup.add_callback(self._resume)
+        self.sim._schedule_event(wakeup)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._gen.send(event._value)
+            else:
+                target = self._gen.throw(event._value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if not self.triggered:
+                self.fail(exc)
+            else:  # pragma: no cover - double fault
+                raise
+            return
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            self._gen.close()
+            if not self.triggered:
+                self.fail(err)
+            return
+        if target.callbacks is None:
+            # Already processed: resume immediately on a fresh trampoline.
+            relay = Event(self.sim)
+            relay._value = target._value
+            relay._ok = target._ok
+            relay.add_callback(self._resume)
+            self.sim._schedule_event(relay)
+        else:
+            target.add_callback(self._resume)
+        self._waiting_on = target
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.callbacks is None or ev.triggered:
+                # Already triggered: account for it via an immediate check.
+                self._check(ev)
+            else:
+                self._pending += 1
+                ev.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _results(self) -> dict:
+        return {ev: ev._value for ev in self.events if ev.triggered and ev._ok}
+
+
+class AllOf(Condition):
+    """Succeeds when all child events succeed; fails on the first failure."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok is False:
+            self.fail(event._value)
+            return
+        if all(ev.triggered and ev._ok for ev in self.events):
+            self.succeed(self._results())
+
+
+class AnyOf(Condition):
+    """Succeeds when any child event succeeds; fails if one fails first."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok is False:
+            self.fail(event._value)
+            return
+        self.succeed(self._results())
+
+
+class Simulator:
+    """The event loop. Time is in microseconds (float)."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List = []
+        self._seq = 0
+        self._running = False
+        #: Optional structured-event tracer (see repro.sim.trace.Tracer).
+        self.tracer = None
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError("event already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` microseconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Spawn ``gen`` as a process starting at the current time."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that fires when every child event has succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event that fires when the first child event succeeds."""
+        return AnyOf(self, events)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute time ``when`` (>= now)."""
+        if when < self.now:
+            raise SimulationError(f"call_at in the past: {when} < {self.now}")
+        ev = Event(self)
+        ev.add_callback(lambda _e: fn())
+        ev._value = None
+        ev._ok = True
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, ev))
+        ev._scheduled = True
+        return ev
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> None:
+        """Dispatch the single next event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        event._deferred = False
+        callbacks, event.callbacks = event.callbacks, None
+        for fn in callbacks:
+            fn(event)
+        if event._ok is False and not callbacks:
+            # A failed event nobody waited for is a lost error; surface it.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or simulated time reaches ``until``."""
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                when = self._heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    return
+                try:
+                    self.step()
+                except StopSimulation:
+                    return
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+
+    def run_process(self, gen: Generator, until: Optional[float] = None) -> Any:
+        """Convenience: run ``gen`` to completion and return its value."""
+        proc = self.process(gen)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish by t={self.now}"
+            )
+        if not proc._ok:
+            raise proc._value
+        return proc._value
+
+    def stop(self) -> None:
+        """Halt :meth:`run` from inside a callback or process."""
+        raise StopSimulation()

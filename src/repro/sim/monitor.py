@@ -1,0 +1,170 @@
+"""Measurement instruments: utilization, latency, and throughput meters.
+
+Every figure in the paper is either a throughput, a CPU utilization, or a
+response time; these classes are the common read-out path for all of them.
+Meters support a *measurement window* so warm-up passes (e.g. the first pass
+of the Table 3 microbenchmark) can be excluded, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from .core import Simulator
+
+
+class BusyTracker:
+    """Accumulates busy time, optionally split by category.
+
+    Used by the CPU model for utilization figures (Fig. 4) and by the
+    server CPU accounting in the PostMark experiment (Fig. 6).
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.busy_us = 0.0
+        self.by_category: Dict[str, float] = {}
+        self._window_start = 0.0
+        self._window_busy_mark = 0.0
+
+    def add(self, duration_us: float, category: str = "other") -> None:
+        if duration_us < 0:
+            raise ValueError(f"negative busy duration: {duration_us}")
+        self.busy_us += duration_us
+        self.by_category[category] = self.by_category.get(category, 0.0) + duration_us
+
+    def reset_window(self) -> None:
+        """Start a fresh measurement window at the current time."""
+        self._window_start = self.sim.now
+        self._window_busy_mark = self.busy_us
+
+    def window_utilization(self) -> float:
+        """Fraction of time busy since the last :meth:`reset_window`."""
+        elapsed = self.sim.now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, (self.busy_us - self._window_busy_mark) / elapsed)
+
+    def utilization(self) -> float:
+        if self.sim.now <= 0:
+            return 0.0
+        return min(1.0, self.busy_us / self.sim.now)
+
+
+class LatencyStats:
+    """Streaming response-time statistics (Table 3, PostMark latencies)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, latency_us: float) -> None:
+        if latency_us < 0:
+            raise ValueError(f"negative latency: {latency_us}")
+        self.samples.append(latency_us)
+
+    def reset(self) -> None:
+        self.samples.clear()
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def stdev(self) -> float:
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self.samples) / (n - 1))
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+
+class ThroughputMeter:
+    """Counts bytes (or operations) over a measurement window.
+
+    ``rate()`` returns units per microsecond; ``mb_per_s()`` converts a
+    byte meter to the MB/s used throughout the paper (1 MB = 1e6 bytes,
+    matching the paper's link-rate arithmetic: 2 Gb/s = 250 MB/s).
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.total = 0.0
+        self._window_start = 0.0
+        self._window_mark = 0.0
+
+    def add(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"negative meter increment: {amount}")
+        self.total += amount
+
+    def reset_window(self) -> None:
+        self._window_start = self.sim.now
+        self._window_mark = self.total
+
+    def window_total(self) -> float:
+        return self.total - self._window_mark
+
+    def rate(self) -> float:
+        elapsed = self.sim.now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        return (self.total - self._window_mark) / elapsed
+
+    def mb_per_s(self) -> float:
+        """Bytes/µs happens to equal MB/s (1e6 B / 1e6 µs)."""
+        return self.rate()
+
+    def per_second(self) -> float:
+        """Operations per second for an operation-count meter."""
+        return self.rate() * 1e6
+
+
+class Counter:
+    """Named integer counters with a tiny dict interface."""
+
+    def __init__(self):
+        self._counts: Dict[str, int] = {}
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def incr(self, key: str, by: int = 1) -> None:
+        self._counts[key] = self._counts.get(key, 0) + by
+
+    def get(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def ratio(self, numerator: str, denominator: str) -> Optional[float]:
+        den = self.get(denominator)
+        if den == 0:
+            return None
+        return self.get(numerator) / den

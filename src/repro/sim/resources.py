@@ -1,0 +1,191 @@
+"""Shared-resource primitives built on the event kernel.
+
+These model contended hardware: CPUs (priority resources), DMA engines and
+firmware processors (FIFO resources), buses and links (bandwidth pipes), and
+mailbox-style queues between components (stores).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
+
+from .core import Event, SimulationError, Simulator
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority", "_key")
+
+    def __init__(self, resource: "Resource", priority: int):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+
+
+class Resource:
+    """A server with ``capacity`` slots and a FIFO (or priority) queue.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users: List[Request] = []
+        self._queue: List = []  # heap of (priority, seq, request)
+        self._seq = 0
+        self.stats_granted = 0
+        self.stats_peak_queue = 0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> Request:
+        req = Request(self, priority)
+        self._seq += 1
+        heapq.heappush(self._queue, (priority, self._seq, req))
+        self.stats_peak_queue = max(self.stats_peak_queue, len(self._queue))
+        self._grant()
+        return req
+
+    def cancel(self, req: Request) -> None:
+        """Withdraw a request that has not been granted yet."""
+        if req in self._users:
+            raise SimulationError("cannot cancel a granted request; release it")
+        self._queue = [entry for entry in self._queue if entry[2] is not req]
+        heapq.heapify(self._queue)
+
+    def release(self, req: Request) -> None:
+        try:
+            self._users.remove(req)
+        except ValueError:
+            raise SimulationError("release of a request that does not hold a slot")
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            _prio, _seq, req = heapq.heappop(self._queue)
+            self._users.append(req)
+            self.stats_granted += 1
+            req.succeed(req)
+
+    def acquire(self, priority: int = 0) -> Generator:
+        """Process-style helper: ``req = yield from resource.acquire()``."""
+        req = self.request(priority)
+        yield req
+        return req
+
+
+class Store:
+    """An unbounded FIFO channel of items between processes."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+class BandwidthPipe:
+    """A serialized transmission medium with fixed bandwidth.
+
+    Transfers queue FIFO; each occupies the pipe for ``nbytes / bandwidth``
+    plus an optional fixed per-transfer overhead. This models link
+    serialization, DMA engines, and bus occupancy. Bandwidth is in bytes
+    per microsecond (i.e. MB/s ≈ B/µs).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bpus: float,
+        name: str = "",
+        per_transfer_us: float = 0.0,
+    ):
+        if bandwidth_bpus <= 0:
+            raise SimulationError(f"bandwidth must be positive: {bandwidth_bpus}")
+        self.sim = sim
+        self.bandwidth = bandwidth_bpus
+        self.name = name
+        self.per_transfer_us = per_transfer_us
+        self._free_at = float("-inf")  # idle since forever
+        self.stats_bytes = 0
+        self.stats_transfers = 0
+        self.stats_busy_us = 0.0
+
+    def occupancy(self, nbytes: int) -> float:
+        return self.per_transfer_us + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int) -> Event:
+        """Return an event that fires when ``nbytes`` have moved."""
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes}")
+        start = max(self.sim.now, self._free_at)
+        duration = self.occupancy(nbytes)
+        self._free_at = start + duration
+        self.stats_bytes += nbytes
+        self.stats_transfers += 1
+        self.stats_busy_us += duration
+        return self.sim.timeout(self._free_at - self.sim.now)
+
+    def transfer_cut_through(self, nbytes: int) -> Event:
+        """Drain-side transfer whose bits streamed in while upstream sent.
+
+        Models the receive leg of a cut-through fabric: if this pipe was
+        idle while the sender serialized (a window of one occupancy ending
+        now), the transfer completes immediately; otherwise it queues behind
+        the in-progress transfer and pays full serialization. Occupancy is
+        accounted either way, so converging senders contend correctly.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes}")
+        now = self.sim.now
+        duration = self.occupancy(nbytes)
+        arrival = max(now, self._free_at + duration)
+        self._free_at = arrival
+        self.stats_bytes += nbytes
+        self.stats_transfers += 1
+        self.stats_busy_us += duration
+        return self.sim.timeout(arrival - now)
+
+    def utilization(self, elapsed_us: Optional[float] = None) -> float:
+        elapsed = elapsed_us if elapsed_us is not None else self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.stats_busy_us / elapsed)

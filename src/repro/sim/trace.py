@@ -1,0 +1,121 @@
+"""Structured event tracing.
+
+A :class:`Tracer` attached to the simulator (``sim.tracer``) records
+timestamped, typed events from instrumented components — NIC operations,
+RPC activity, ORDMA faults — into a bounded ring buffer. Tracing is off
+unless a tracer is attached, and emit sites guard with a single attribute
+check, so the instrumented hot paths cost nothing in normal runs.
+
+Typical use::
+
+    tracer = Tracer.attach(cluster.sim)
+    ... run workload ...
+    for ev in tracer.filter(kind="ordma-fault"):
+        print(ev)
+    tracer.dump_jsonl("trace.jsonl")
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+from .core import Simulator
+
+
+class TraceEvent:
+    """One timestamped occurrence."""
+
+    __slots__ = ("ts", "component", "kind", "detail")
+
+    def __init__(self, ts: float, component: str, kind: str,
+                 detail: Dict[str, Any]):
+        self.ts = ts
+        self.component = component
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        fields = " ".join(f"{k}={v!r}" for k, v in self.detail.items())
+        return f"[{self.ts:12.3f}us] {self.component} {self.kind} {fields}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"ts": self.ts, "component": self.component,
+                "kind": self.kind, **self.detail}
+
+
+class Tracer:
+    """Bounded in-memory trace collector."""
+
+    def __init__(self, sim: Simulator, capacity: int = 100_000):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.emitted = 0
+
+    @classmethod
+    def attach(cls, sim: Simulator, capacity: int = 100_000) -> "Tracer":
+        """Create a tracer and attach it as ``sim.tracer``."""
+        tracer = cls(sim, capacity)
+        sim.tracer = tracer
+        return tracer
+
+    @staticmethod
+    def detach(sim: Simulator) -> None:
+        sim.tracer = None
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(self, component: str, kind: str, **detail: Any) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self.emitted += 1
+        self._events.append(
+            TraceEvent(self.sim.now, component, kind, detail))
+
+    # -- querying ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def filter(self, component: Optional[str] = None,
+               kind: Optional[str] = None,
+               since: float = 0.0) -> List[TraceEvent]:
+        return [ev for ev in self._events
+                if (component is None or ev.component == component)
+                and (kind is None or ev.kind == kind)
+                and ev.ts >= since]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for ev in self._events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    # -- export ------------------------------------------------------------
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write the buffer as JSON lines; returns the event count."""
+        count = 0
+        with open(path, "w") as fh:
+            for ev in self._events:
+                fh.write(json.dumps(ev.as_dict(), default=str) + "\n")
+                count += 1
+        return count
+
+
+def emit(sim: Simulator, component: str, kind: str, **detail: Any) -> None:
+    """Module-level guard helper for instrumented code paths."""
+    tracer = getattr(sim, "tracer", None)
+    if tracer is not None:
+        tracer.emit(component, kind, **detail)

@@ -1,0 +1,16 @@
+"""Workloads driving the evaluation: streaming, Berkeley DB, PostMark,
+multi-client small I/O."""
+
+from .bdb import BerkeleyDBJoinWorkload
+from .postmark import PostMarkWorkload
+from .sequential import SequentialReadWorkload
+from .sfs import SFSWorkload
+from .smallio import MultiClientReadWorkload
+
+__all__ = [
+    "BerkeleyDBJoinWorkload",
+    "MultiClientReadWorkload",
+    "PostMarkWorkload",
+    "SFSWorkload",
+    "SequentialReadWorkload",
+]

@@ -1,0 +1,104 @@
+"""SPECsfs-like mixed NFS operation workload.
+
+Section 2.3 cites Martin & Culler's finding that "file server throughput
+in NFS workloads modeled by SPECsfs is most sensitive to host CPU
+overhead" — the premise behind attacking per-I/O cost. This workload
+generates the classic SFS operation mix (lookups, getattrs, reads,
+writes) from multiple clients against one server and measures delivered
+operation throughput, so the sensitivity experiment
+(:func:`repro.bench.ablations.ablation_overhead_sensitivity`) can sweep
+host overhead parameters and reproduce that qualitative result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..cluster import Cluster
+from ..params import KB
+
+#: Default operation mix, patterned after the SFS97 distribution
+#: (collapsed to the operations our servers implement).
+DEFAULT_MIX: List[Tuple[str, float]] = [
+    ("lookup", 0.27),
+    ("getattr", 0.22),
+    ("read", 0.32),
+    ("write", 0.19),
+]
+
+
+class SFSWorkload:
+    """Closed-loop multi-client NFS operation mix."""
+
+    def __init__(self, cluster: Cluster, n_files: int = 128,
+                 file_size: int = 8 * KB, ops_per_client: int = 500,
+                 mix: Optional[List[Tuple[str, float]]] = None,
+                 seed_stream: str = "sfs"):
+        self.cluster = cluster
+        self.n_files = n_files
+        self.file_size = file_size
+        self.ops_per_client = ops_per_client
+        self.mix = mix or DEFAULT_MIX
+        total = sum(weight for _, weight in self.mix)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"operation mix must sum to 1.0, got {total}")
+        self.rng = cluster.rand.stream(seed_stream)
+        self.op_counts: Dict[str, int] = {}
+
+    def setup(self) -> None:
+        for i in range(self.n_files):
+            self.cluster.create_file(self._name(i), self.file_size)
+
+    def _name(self, i: int) -> str:
+        return f"sfs{i:05d}"
+
+    def _pick_op(self) -> str:
+        roll = self.rng.random()
+        acc = 0.0
+        for op, weight in self.mix:
+            acc += weight
+            if roll < acc:
+                return op
+        return self.mix[-1][0]
+
+    def _one_op(self, client) -> Generator:
+        name = self._name(self.rng.randrange(self.n_files))
+        op = self._pick_op()
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        if op == "lookup":
+            yield from client._call("lookup", {"name": name})
+        elif op == "getattr":
+            yield from client.getattr(name)
+        elif op == "read":
+            offset = self.rng.randrange(
+                max(1, self.file_size // (4 * KB))) * 4 * KB
+            yield from client.read(name, offset, 4 * KB)
+        else:  # write
+            offset = self.rng.randrange(
+                max(1, self.file_size // (4 * KB))) * 4 * KB
+            yield from client.write(name, offset, 4 * KB)
+
+    def _client_loop(self, client) -> Generator:
+        for _ in range(self.ops_per_client):
+            yield from self._one_op(client)
+
+    def run(self) -> Dict[str, float]:
+        cluster = self.cluster
+        sim = cluster.sim
+
+        def main():
+            cluster.reset_measurements()
+            start = sim.now
+            procs = [sim.process(self._client_loop(client),
+                                 name="sfs-client")
+                     for client in cluster.clients]
+            yield sim.all_of(procs)
+            elapsed = sim.now - start
+            total_ops = self.ops_per_client * len(cluster.clients)
+            return {
+                "ops_per_s": total_ops / elapsed * 1e6,
+                "server_cpu": cluster.server_cpu_utilization(),
+                "op_counts": dict(self.op_counts),
+            }
+
+        return sim.run_process(main())

@@ -1,0 +1,48 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.plot import ascii_chart, chart_from_sweep
+
+
+def test_chart_dimensions_and_legend():
+    out = ascii_chart({"a": {4: 10.0, 64: 100.0},
+                       "b": {4: 50.0, 64: 50.0}},
+                      width=40, height=10, ylabel="MB/s")
+    lines = out.splitlines()
+    assert len(lines) == 10 + 3  # grid + axis + ticks + legend
+    assert "o=a" in lines[-1] and "*=b" in lines[-1]
+    assert "MB/s" in lines[-1]
+
+
+def test_points_placed_monotonically():
+    out = ascii_chart({"s": {1: 0.0, 2: 50.0, 3: 100.0}},
+                      width=30, height=11)
+    grid = out.splitlines()[:11]  # exclude axis/ticks/legend
+    placements = [(line.index("o", 10), i) for i, line in enumerate(grid)
+                  if "o" in line[10:]]
+    placements.sort()  # by column (i.e. by x)
+    rows = [row for _col, row in placements]
+    # Larger y must land on an upper (smaller-index) row.
+    assert rows == sorted(rows, reverse=True)
+    assert len(rows) == 3
+
+
+def test_ymax_clamps():
+    out = ascii_chart({"s": {1: 1000.0}}, width=20, height=5, ymax=100.0)
+    # Point lands on the top row despite exceeding ymax.
+    assert "o" in out.splitlines()[0]
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"s": {}})
+
+
+def test_chart_from_sweep():
+    sweep = {"dafs": {4: {"throughput_mb_s": 90.0},
+                      64: {"throughput_mb_s": 230.0}}}
+    out = chart_from_sweep(sweep, "throughput_mb_s", width=30, height=8)
+    assert "o=dafs" in out

@@ -1,0 +1,105 @@
+"""Tests for report rendering and the benchmark CLI plumbing."""
+
+import pytest
+
+from repro.bench.report import (
+    format_table,
+    render_dict_table,
+    render_fig6,
+    render_fig7,
+    render_sweep,
+    render_table2,
+    render_table3,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1].replace(" ", "")) == {"-"}
+        assert len(lines) == 4
+        # Columns align: 'value' column starts at the same offset everywhere.
+        col = lines[0].index("value")
+        assert lines[2][col - 1] == " "
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert out.splitlines()[0] == "a"
+
+
+class TestRenderers:
+    def test_table2(self):
+        measured = {"GM": {"roundtrip_us": 23.5, "bandwidth_mb_s": 243.6}}
+        paper = {"GM": {"roundtrip_us": 23.0, "bandwidth_mb_s": 244.0}}
+        out = render_table2(measured, paper)
+        assert "GM" in out and "23.5" in out and "244" in out
+
+    def test_sweep(self):
+        results = {"dafs": {4: {"x": 1.0}, 64: {"x": 2.0}},
+                   "nfs": {4: {"x": 0.5}}}
+        out = render_sweep(results, "x", "MB/s")
+        assert "dafs" in out and "-" in out  # missing cell rendered as '-'
+        assert out.splitlines()[0].startswith("x (MB/s)")
+
+    def test_table3(self):
+        measured = {k: {"in_mem": 100.0, "in_cache": 120.0}
+                    for k in ("rpc_inline", "rpc_direct", "ordma")}
+        paper = {k: {"in_mem": 128.0, "in_cache": 153.0}
+                 for k in ("rpc_inline", "rpc_direct", "ordma")}
+        out = render_table3(measured, paper)
+        assert "ORDMA read" in out and "100" in out and "128" in out
+
+    def test_fig6(self):
+        measured = {
+            "dafs": {25: {"txns_per_s": 1000.0, "server_cpu": 0.3}},
+            "odafs": {25: {"txns_per_s": 1340.0, "server_cpu": 0.0}},
+        }
+        out = render_fig6(measured)
+        assert "34.0%" in out
+
+    def test_fig7(self):
+        measured = {
+            "dafs": {4: {"throughput_mb_s": 91.0, "server_cpu": 1.0}},
+            "odafs": {4: {"throughput_mb_s": 222.0, "server_cpu": 0.0}},
+        }
+        out = render_fig7(measured)
+        assert "4 KB" in out and "222" in out
+
+    def test_dict_table(self):
+        out = render_dict_table({"a": {"m": 1.5, "n": "x"}}, "key")
+        assert "key" in out and "1.50" in out and "x" in out
+
+
+class TestCLI:
+    def test_unknown_target_rejected(self):
+        from repro.bench.cli import main
+        with pytest.raises(SystemExit):
+            main(["not-a-target"])
+
+    def test_table2_target_runs(self, capsys):
+        from repro.bench.cli import main
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "GM" in out and "UDP/Ethernet" in out
+
+    def test_quick_flag_accepted(self, capsys):
+        from repro.bench.cli import main
+        assert main(["table3", "--quick"]) == 0
+        assert "ORDMA read" in capsys.readouterr().out
+
+
+class TestJSONOutput:
+    def test_json_emits_parseable_results(self, capsys):
+        import json
+        from repro.bench.cli import main
+        assert main(["table2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "GM" in data["table2"]
+        assert data["table2"]["GM"]["roundtrip_us"] > 0
+
+    def test_json_rejected_for_aggregate_targets(self):
+        from repro.bench.cli import main
+        with pytest.raises(SystemExit):
+            main(["all", "--json"])

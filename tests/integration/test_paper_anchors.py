@@ -1,0 +1,81 @@
+"""Integration anchors: quick versions of the paper's headline numbers.
+
+These run the same experiments as benchmarks/ at reduced scale so that
+``pytest tests/`` alone validates the reproduction end to end.
+"""
+
+import pytest
+
+from repro.bench.baseline import gm_baseline, udp_baseline, vi_baseline
+from repro.bench.figures import (
+    fig6_postmark,
+    fig7_server_throughput,
+    table3_response_time,
+)
+from repro.hw.nic import NotifyMode
+
+
+class TestTransportAnchors:
+    def test_gm(self):
+        out = gm_baseline()
+        assert out["roundtrip_us"] == pytest.approx(23.0, rel=0.15)
+        assert out["bandwidth_mb_s"] == pytest.approx(244.0, rel=0.05)
+
+    def test_vi_poll_vs_block(self):
+        poll = vi_baseline(mode="poll")
+        block = vi_baseline(mode="block")
+        assert poll["roundtrip_us"] == pytest.approx(23.0, rel=0.15)
+        assert block["roundtrip_us"] == pytest.approx(53.0, rel=0.15)
+
+    def test_udp(self):
+        out = udp_baseline()
+        assert out["roundtrip_us"] == pytest.approx(80.0, rel=0.15)
+        assert out["bandwidth_mb_s"] == pytest.approx(166.0, rel=0.15)
+
+
+class TestTable3Anchors:
+    @pytest.fixture(scope="class")
+    def t3(self):
+        return table3_response_time(n_blocks=192, measure_blocks=96)
+
+    def test_ordma_fastest_and_near_92us(self, t3):
+        assert t3["ordma"]["in_cache"] == pytest.approx(92.0, rel=0.10)
+
+    def test_direct_rpc_near_144us(self, t3):
+        assert t3["rpc_direct"]["in_cache"] == pytest.approx(144.0, rel=0.10)
+
+    def test_inline_near_paper(self, t3):
+        assert t3["rpc_inline"]["in_mem"] == pytest.approx(128.0, rel=0.10)
+        assert t3["rpc_inline"]["in_cache"] == pytest.approx(153.0, rel=0.10)
+
+    def test_response_time_improvement_near_36_percent(self, t3):
+        gain = 1.0 - t3["ordma"]["in_cache"] / t3["rpc_direct"]["in_cache"]
+        assert gain == pytest.approx(0.36, abs=0.06)
+
+
+class TestServerThroughputAnchors:
+    def test_polling_dafs_170_and_odafs_gain_32(self):
+        out = fig7_server_throughput(block_sizes_kb=(4,),
+                                     blocks_per_file=256,
+                                     server_mode=NotifyMode.POLL)
+        dafs = out["dafs"][4]["throughput_mb_s"]
+        odafs = out["odafs"][4]["throughput_mb_s"]
+        assert dafs == pytest.approx(170.0, rel=0.10)
+        assert odafs / dafs - 1.0 == pytest.approx(0.32, abs=0.08)
+
+    def test_odafs_zero_server_cpu(self):
+        out = fig7_server_throughput(block_sizes_kb=(4,),
+                                     blocks_per_file=192)
+        assert out["odafs"][4]["server_cpu"] < 0.02
+        assert out["odafs"][4]["throughput_mb_s"] > 200.0
+
+
+class TestPostMarkAnchors:
+    def test_odafs_gain_and_server_cpu(self):
+        out = fig6_postmark(hit_ratios=(0.5,), n_files=192,
+                            transactions=1200)
+        gain = (out["odafs"][50]["txns_per_s"]
+                / out["dafs"][50]["txns_per_s"] - 1.0)
+        assert gain == pytest.approx(0.34, abs=0.10)
+        assert out["odafs"][50]["server_cpu"] < 0.02
+        assert out["dafs"][50]["server_cpu"] == pytest.approx(0.25, abs=0.06)

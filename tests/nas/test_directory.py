@@ -1,0 +1,76 @@
+"""Unit tests for the ORDMA reference directory."""
+
+import pytest
+
+from repro.nas.client.directory import ORDMADirectory, make_policy
+from repro.proto.ordma import RemoteRef
+
+
+def ref(i):
+    return RemoteRef("server", 0x1000 * (i + 1), 4096)
+
+
+def test_probe_miss_then_insert_then_hit():
+    directory = ORDMADirectory(4)
+    assert directory.probe("k") is None
+    directory.insert("k", ref(0))
+    assert directory.probe("k") == ref(0)
+    assert directory.stats.get("hits") == 1
+    assert directory.stats.get("misses") == 1
+
+
+def test_capacity_evicts_lru():
+    directory = ORDMADirectory(2, policy="lru")
+    directory.insert("a", ref(0))
+    directory.insert("b", ref(1))
+    directory.probe("a")
+    directory.insert("c", ref(2))
+    assert directory.probe("b") is None
+    assert directory.probe("a") == ref(0)
+    assert directory.stats.get("evictions") == 1
+
+
+def test_invalidate_on_fault():
+    directory = ORDMADirectory(4)
+    directory.insert("k", ref(0))
+    assert directory.invalidate("k")
+    assert not directory.invalidate("k")
+    assert directory.probe("k") is None
+    assert directory.stats.get("invalidations") == 1
+
+
+def test_reinsert_updates_reference():
+    """An RPC retry refreshes a stale reference (Section 4.2.1)."""
+    directory = ORDMADirectory(4)
+    directory.insert("k", ref(0))
+    directory.insert("k", ref(1))
+    assert directory.probe("k") == ref(1)
+    assert len(directory) == 1
+
+
+def test_mq_policy_variant():
+    directory = ORDMADirectory(4, policy="mq")
+    directory.insert("k", ref(0))
+    assert directory.probe("k") == ref(0)
+    assert directory.policy_name == "mq"
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        ORDMADirectory(4, policy="clock")
+    with pytest.raises(ValueError):
+        make_policy("fifo", 4)
+
+
+def test_hit_ratio():
+    directory = ORDMADirectory(4)
+    directory.insert("k", ref(0))
+    directory.probe("k")
+    directory.probe("x")
+    directory.probe("k")
+    assert directory.hit_ratio() == pytest.approx(2 / 3)
+
+
+def test_remote_ref_validation():
+    with pytest.raises(ValueError):
+        RemoteRef("server", 0x1000, 0)

@@ -1,0 +1,98 @@
+"""Tests for the untagged RDDP-RPC (page re-mapping) NFS client."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.params import KB
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(system="nfs-remap", block_size=4 * KB)
+    c.create_file("f", 64 * KB)
+    return c
+
+
+def test_read_is_split_and_remapped(cluster):
+    client = cluster.clients[0]
+
+    def proc():
+        data = yield from client.read("f", 0, 16 * KB)
+        return data
+
+    data = cluster.sim.run_process(proc())
+    assert data == tuple(("f", i, 0) for i in range(4))
+    assert cluster.client_hosts[0].nic.stats.get("rddp_untagged_split") == 1
+    assert client.stats.get("pages_remapped") == 4
+    assert client.stats.get("tail_copies") == 0
+
+
+def test_no_tag_table_interaction(cluster):
+    """Untagged splitting never touches the NIC tag table — that is the
+    whole point (no per-I/O pre-posting)."""
+    client = cluster.clients[0]
+
+    def proc():
+        yield from client.read("f", 0, 4 * KB)
+        return len(cluster.client_hosts[0].nic._rddp_tags)
+
+    assert cluster.sim.run_process(proc()) == 0
+    assert cluster.client_hosts[0].nic.stats.get("rddp_split") == 0
+
+
+def test_sub_page_tail_pays_a_copy():
+    cluster = Cluster(system="nfs-remap", block_size=6000)
+    cluster.create_file("odd", 6000)
+    client = cluster.clients[0]
+
+    def proc():
+        yield from client.read("odd", 0, 6000)
+        return (client.stats.get("pages_remapped"),
+                client.stats.get("tail_copies"))
+
+    remapped, tails = cluster.sim.run_process(proc())
+    assert remapped == 1   # one full page flipped
+    assert tails == 1      # 6000 - 4096 bytes copied
+
+
+def test_no_per_io_pinning(cluster):
+    """Unlike the pre-posting client, user buffer pages are never pinned."""
+    client = cluster.clients[0]
+    buf = cluster.client_hosts[0].mem.alloc(4 * KB)
+
+    def proc():
+        yield from client.read("f", 0, 4 * KB, app_buffer=buf)
+
+    cluster.sim.run_process(proc())
+    assert not any(p.pinned for p in buf.pages)
+
+
+def test_cheaper_than_prepost_per_large_read():
+    """Flipping pages beats per-I/O registration + tag doorbells for
+    large transfers (the variant's raison d'etre)."""
+    results = {}
+    for system in ("nfs-remap", "nfs-prepost"):
+        cluster = Cluster(system=system, block_size=256 * KB)
+        cluster.create_file("big", 16 * 256 * KB)
+        client = cluster.clients[0]
+
+        def proc():
+            yield from client.read("big", 0, 256 * KB)  # warm
+            mark = cluster.client_hosts[0].cpu.busy.busy_us
+            for i in range(1, 16):
+                yield from client.read("big", i * 256 * KB, 256 * KB)
+            return (cluster.client_hosts[0].cpu.busy.busy_us - mark) / 15
+
+        results[system] = cluster.sim.run_process(proc())
+    assert results["nfs-remap"] < results["nfs-prepost"]
+
+
+def test_write_path(cluster):
+    client = cluster.clients[0]
+
+    def proc():
+        yield from client.write("f", 0, 4 * KB)
+        data = yield from client.read("f", 0, 4 * KB)
+        return data
+
+    assert cluster.sim.run_process(proc()) == ("f", 0, 1)

@@ -1,0 +1,110 @@
+"""Tests for the ODAFS optimistic write extension."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.params import KB
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(system="odafs", block_size=4 * KB,
+                client_kwargs={"cache_blocks": 4})
+    c.create_file("f", 32 * KB)
+    return c
+
+
+def warm(cluster, client):
+    def proc():
+        for i in range(8):
+            yield from client.read("f", i * 4 * KB, 4 * KB)
+
+    cluster.sim.run_process(proc())
+
+
+def test_optimistic_write_uses_ordma_plus_metadata_rpc(cluster):
+    client = cluster.clients[0]
+    warm(cluster, client)
+
+    def proc():
+        server_mark = cluster.server_host.cpu.busy.busy_us
+        yield from client.write_optimistic("f", 0, 4 * KB)
+        server_cost = cluster.server_host.cpu.busy.busy_us - server_mark
+        return server_cost
+
+    server_cost = cluster.sim.run_process(proc())
+    assert client.stats.get("ordma_writes") == 1
+    # The metadata RPC still costs server CPU — writes can never be
+    # server-free (Section 4.2.2) — but much less than a full data write.
+    assert 0.0 < server_cost < 60.0
+
+
+def test_optimistic_write_updates_file_version(cluster):
+    client = cluster.clients[0]
+    warm(cluster, client)
+
+    def proc():
+        yield from client.write_optimistic("f", 4 * KB, 4 * KB)
+        data = yield from client.read("f", 4 * KB, 4 * KB)
+        return data
+
+    assert cluster.sim.run_process(proc()) == ("f", 1, 1)
+
+
+def test_optimistic_write_without_ref_falls_back(cluster):
+    client = cluster.clients[0]  # directory cold: no warm pass
+
+    def proc():
+        yield from client.write_optimistic("f", 0, 4 * KB)
+        data = yield from client.read("f", 0, 4 * KB)
+        return data
+
+    assert cluster.sim.run_process(proc()) == ("f", 0, 1)
+    assert client.stats.get("ordma_writes") == 0
+    assert client.stats.get("writes") == 1
+
+
+def test_optimistic_write_fault_falls_back(cluster):
+    client = cluster.clients[0]
+    warm(cluster, client)
+    cluster.cache.invalidate(("f", 0))  # stale reference
+
+    def proc():
+        yield from client.write_optimistic("f", 0, 4 * KB)
+        data = yield from client.read("f", 0, 4 * KB)
+        return data
+
+    assert cluster.sim.run_process(proc()) == ("f", 0, 1)
+    assert client.stats.get("ordma_faults") >= 1
+
+
+def test_partial_block_optimistic_write_rejected(cluster):
+    client = cluster.clients[0]
+
+    def proc():
+        yield from client.write_optimistic("f", 100, 4 * KB)
+
+    with pytest.raises(ValueError):
+        cluster.sim.run_process(proc())
+
+    def proc2():
+        yield from client.write_optimistic("f", 0, 2 * KB)
+
+    with pytest.raises(ValueError):
+        cluster.sim.run_process(proc2())
+
+
+def test_second_client_sees_optimistic_write(cluster):
+    cluster2 = Cluster(system="odafs", n_clients=2, block_size=4 * KB,
+                       client_kwargs={"cache_blocks": 2})
+    cluster2.create_file("f", 16 * KB)
+    writer, reader = cluster2.clients
+
+    def proc():
+        for i in range(4):
+            yield from writer.read("f", i * 4 * KB, 4 * KB)
+        yield from writer.write_optimistic("f", 0, 4 * KB)
+        data = yield from reader.read("f", 0, 4 * KB)
+        return data
+
+    assert cluster2.sim.run_process(proc()) == ("f", 0, 1)

@@ -1,0 +1,140 @@
+"""Property-based tests for hardware substrate invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.memory import PAGE_SIZE, AddressSpace
+from repro.hw.tpt import TPT, CapabilityAuthority, NicTLB
+from repro.net.packet import Message, MsgKind, Reassembler, fragment
+
+
+class TestAddressSpaceProperties:
+    @settings(max_examples=100)
+    @given(st.lists(st.integers(min_value=1, max_value=100_000),
+                    min_size=1, max_size=30))
+    def test_allocations_never_overlap(self, sizes):
+        space = AddressSpace("p")
+        buffers = [space.alloc(size) for size in sizes]
+        spans = sorted((b.base, b.base + b.page_count * PAGE_SIZE)
+                       for b in buffers)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        for buf, size in zip(buffers, sizes):
+            assert buf.size == size
+            assert buf.page_count == (size + PAGE_SIZE - 1) // PAGE_SIZE
+
+    @settings(max_examples=100)
+    @given(st.integers(min_value=1, max_value=50_000),
+           st.data())
+    def test_pages_in_range_covers_exactly_the_span(self, size, data):
+        space = AddressSpace("p")
+        buf = space.alloc(size)
+        offset = data.draw(st.integers(min_value=0, max_value=size - 1))
+        nbytes = data.draw(st.integers(min_value=1, max_value=size - offset))
+        pages = buf.pages_in_range(offset, nbytes)
+        first = offset // PAGE_SIZE
+        last = (offset + nbytes - 1) // PAGE_SIZE
+        assert pages == buf.pages[first:last + 1]
+
+
+class TestCapabilityProperties:
+    @settings(max_examples=100)
+    @given(st.integers(min_value=0, max_value=2**32),
+           st.integers(min_value=0, max_value=2**48),
+           st.integers(min_value=1, max_value=2**32))
+    def test_issue_verify_roundtrip(self, seg_id, base, length):
+        auth = CapabilityAuthority(b"k1")
+        token = auth.issue(seg_id, base, length)
+        assert len(token) == 16
+        assert token == auth.issue(seg_id, base, length)
+
+    @settings(max_examples=100)
+    @given(st.binary(min_size=0, max_size=16))
+    def test_forged_tokens_rejected(self, forged):
+        space = AddressSpace("p")
+        tpt = TPT(use_capabilities=True)
+        buf = space.alloc(PAGE_SIZE)
+        seg = tpt.register(buf, pin=False)
+        genuine = seg.capability
+        ok = tpt.authority.verify(seg, forged)
+        assert ok == (forged == genuine)
+
+
+class TestTLBProperties:
+    @settings(max_examples=100)
+    @given(st.integers(min_value=1, max_value=8),
+           st.lists(st.integers(min_value=0, max_value=20), max_size=100))
+    def test_tlb_never_exceeds_capacity_and_pins_match(self, capacity,
+                                                       accesses):
+        space = AddressSpace("p")
+        buf = space.alloc(21 * PAGE_SIZE)
+        tlb = NicTLB(capacity)
+        for idx in accesses:
+            page = buf.pages[idx]
+            if not tlb.lookup(page):
+                tlb.load(page)
+            assert len(tlb) <= capacity
+            loaded = {p.vaddr for p in buf.pages if p.nic_loaded}
+            assert loaded == set(tlb._entries.keys())
+
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(min_value=0, max_value=9),
+                    min_size=1, max_size=60))
+    def test_unbounded_tlb_misses_each_page_once(self, accesses):
+        space = AddressSpace("p")
+        buf = space.alloc(10 * PAGE_SIZE)
+        tlb = NicTLB(1 << 20)
+        for idx in accesses:
+            page = buf.pages[idx]
+            if not tlb.lookup(page):
+                tlb.load(page)
+        assert tlb.misses == len(set(accesses))
+        assert tlb.hits == len(accesses) - len(set(accesses))
+
+
+class TestFragmentationProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(st.integers(min_value=0, max_value=1_000_000),
+           st.integers(min_value=1, max_value=65536),
+           st.integers(min_value=0, max_value=512))
+    def test_fragments_partition_the_payload(self, size, mtu, header):
+        msg = Message(MsgKind.GM_SEND, "a", "b", size)
+        frames = fragment(msg, mtu, header)
+        assert sum(f.payload_bytes for f in frames) == size
+        assert all(f.payload_bytes <= mtu for f in frames)
+        assert all(f.wire_bytes == f.payload_bytes + header for f in frames)
+        assert [f.index for f in frames] == list(range(len(frames)))
+        assert frames[-1].is_last
+        assert all(f.count == len(frames) for f in frames)
+        # Only the final fragment may be smaller than the MTU.
+        for f in frames[:-1]:
+            assert f.payload_bytes == mtu
+
+    @settings(max_examples=100)
+    @given(st.lists(st.integers(min_value=0, max_value=200_000),
+                    min_size=1, max_size=10),
+           st.integers(min_value=512, max_value=16384))
+    def test_interleaved_reassembly_completes_each_message_once(
+            self, sizes, mtu):
+        """Round-robin-interleaved fragments of many messages reassemble
+        each message exactly once."""
+        frames_by_msg = [
+            fragment(Message(MsgKind.GM_SEND, "a", "b", size), mtu, 64)
+            for size in sizes
+        ]
+        reasm = Reassembler()
+        completed = []
+        cursors = [0] * len(frames_by_msg)
+        progressed = True
+        while progressed:
+            progressed = False
+            for i, frames in enumerate(frames_by_msg):
+                if cursors[i] < len(frames):
+                    out = reasm.add(frames[cursors[i]])
+                    cursors[i] += 1
+                    progressed = True
+                    if out is not None:
+                        completed.append(out.msg_id)
+        expected = [frames[0].message.msg_id for frames in frames_by_msg]
+        assert sorted(completed) == sorted(expected)
+        assert reasm.in_flight == 0

@@ -1,0 +1,99 @@
+"""Property-based tests for replacement policies (LRU, MQ).
+
+Invariants checked against arbitrary access traces:
+* residency never exceeds capacity;
+* a policy never evicts a key that is not resident;
+* membership bookkeeping (contains/len/iter) stays consistent;
+* LRU evicts exactly the least-recently-used key.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.lru import LRUPolicy
+from repro.cache.mq import MQPolicy
+
+KEYS = st.integers(min_value=0, max_value=30)
+OPS = st.lists(
+    st.tuples(st.sampled_from(["admit", "touch", "remove"]), KEYS),
+    max_size=200)
+CAPACITY = st.integers(min_value=1, max_value=10)
+
+
+def apply_trace(policy, ops):
+    """Run a trace, maintaining a reference membership set."""
+    resident = set()
+    for op, key in ops:
+        if op == "admit":
+            victim = policy.admit(key)
+            if victim is not None:
+                assert victim in resident
+                assert victim != key
+                resident.discard(victim)
+            resident.add(key)
+        elif op == "touch":
+            if key in resident:
+                policy.touch(key)
+        else:
+            policy.remove(key)
+            resident.discard(key)
+        yield resident
+
+
+@settings(max_examples=150)
+@given(CAPACITY, OPS)
+def test_lru_membership_invariants(capacity, ops):
+    policy = LRUPolicy(capacity)
+    for resident in apply_trace(policy, ops):
+        assert len(policy) == len(resident) <= capacity
+        assert set(policy) == resident
+        for key in resident:
+            assert key in policy
+
+
+@settings(max_examples=150)
+@given(CAPACITY, OPS)
+def test_mq_membership_invariants(capacity, ops):
+    policy = MQPolicy(capacity)
+    for resident in apply_trace(policy, ops):
+        assert len(policy) == len(resident) <= capacity
+        assert set(policy) == resident
+        for key in resident:
+            assert key in policy
+
+
+@settings(max_examples=150)
+@given(CAPACITY, st.lists(KEYS, max_size=120))
+def test_lru_evicts_least_recently_used(capacity, accesses):
+    """Model LRU with an OrderedDict oracle over an admit-only trace."""
+    policy = LRUPolicy(capacity)
+    oracle = OrderedDict()
+    for key in accesses:
+        victim = policy.admit(key)
+        if key in oracle:
+            oracle.move_to_end(key)
+            assert victim is None
+        else:
+            if len(oracle) >= capacity:
+                expected, _ = oracle.popitem(last=False)
+                assert victim == expected
+            else:
+                assert victim is None
+            oracle[key] = None
+    assert list(policy) == list(oracle)
+
+
+@settings(max_examples=100)
+@given(CAPACITY, st.lists(KEYS, min_size=1, max_size=120))
+def test_mq_internal_queue_consistency(capacity, accesses):
+    """Every resident MQ key sits in exactly the queue its entry claims."""
+    policy = MQPolicy(capacity)
+    for key in accesses:
+        policy.admit(key)
+        for k, entry in policy._entries.items():
+            assert k in policy._queues[entry.queue]
+        queued = sum(len(q) for q in policy._queues)
+        assert queued == len(policy._entries)
+        assert len(policy._history) <= policy.history_size

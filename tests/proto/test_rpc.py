@@ -1,0 +1,230 @@
+"""Tests for the RPC layer over GM and UDP transports."""
+
+import pytest
+
+from repro.hw import Host
+from repro.net import Switch
+from repro.params import default_params
+from repro.proto import (
+    RPC_HEADER_BYTES,
+    GMEndpoint,
+    RPCClient,
+    RPCError,
+    RPCReply,
+    RPCServer,
+    UDPStack,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    params = default_params()
+    switch = Switch(sim, params.net)
+    client_host = Host(sim, params, switch, "client")
+    server_host = Host(sim, params, switch, "server")
+    return sim, client_host, server_host
+
+
+def gm_rig(rig):
+    sim, ch, sh = rig
+    client_ep = GMEndpoint(ch, 10, slots=16, buf_size=128 * 1024)
+    server_ep = GMEndpoint(sh, 10, slots=16, buf_size=128 * 1024)
+    client = RPCClient(ch, client_ep, "server")
+    server = RPCServer(sh, server_ep)
+    return sim, client, server, ch, sh
+
+
+def test_basic_call_response(rig):
+    sim, client, server, ch, sh = gm_rig(rig)
+
+    def echo(srv, req):
+        yield from srv.host.cpu.execute(1.0)
+        return RPCReply(meta={"echo": req.args["value"]})
+
+    server.register("echo", echo)
+    server.start()
+
+    def caller():
+        resp = yield from client.call("echo", {"value": 42})
+        return resp.meta["echo"]
+
+    assert sim.run_process(caller()) == 42
+
+
+def test_inline_payload_delivered(rig):
+    sim, client, server, ch, sh = gm_rig(rig)
+
+    def read(srv, req):
+        yield from srv.host.cpu.execute(1.0)
+        return RPCReply(inline_bytes=req.args["nbytes"], data="filedata")
+
+    server.register("read", read)
+    server.start()
+
+    def caller():
+        resp = yield from client.call("read", {"nbytes": 8192})
+        return resp.data, resp.size
+
+    data, size = sim.run_process(caller())
+    assert data == "filedata"
+    assert size == RPC_HEADER_BYTES + 8192
+
+
+def test_unknown_proc_raises(rig):
+    sim, client, server, ch, sh = gm_rig(rig)
+    server.start()
+
+    def caller():
+        try:
+            yield from client.call("nope")
+        except RPCError as exc:
+            return str(exc)
+
+    assert "nope" in sim.run_process(caller())
+
+
+def test_concurrent_calls_matched_by_xid(rig):
+    sim, client, server, ch, sh = gm_rig(rig)
+
+    def slow_echo(srv, req):
+        yield srv.host.sim.timeout(req.args["delay"])
+        return RPCReply(meta={"value": req.args["value"]})
+
+    server.register("echo", slow_echo)
+    server.start()
+
+    def one(value, delay):
+        resp = yield from client.call("echo", {"value": value,
+                                               "delay": delay})
+        return resp.meta["value"]
+
+    def main():
+        procs = [sim.process(one(i, delay))
+                 for i, delay in enumerate([300.0, 10.0, 100.0])]
+        results = yield sim.all_of(procs)
+        return [p.value for p in procs]
+
+    assert sim.run_process(main()) == [0, 1, 2]
+
+
+def test_duplicate_handler_rejected(rig):
+    sim, client, server, ch, sh = gm_rig(rig)
+
+    def h(srv, req):
+        yield from srv.host.cpu.execute(1.0)
+        return RPCReply()
+
+    server.register("x", h)
+    with pytest.raises(RPCError):
+        server.register("x", h)
+
+
+def test_server_double_start_rejected(rig):
+    sim, client, server, ch, sh = gm_rig(rig)
+    server.start()
+    with pytest.raises(RPCError):
+        server.start()
+
+
+def test_kernel_client_charges_more_cpu(rig):
+    sim, ch, sh = rig
+    params = ch.params
+    user_ep = GMEndpoint(ch, 10, slots=4, buf_size=4096)
+    kern_ep = GMEndpoint(ch, 11, slots=4, buf_size=4096)
+    server_ep10 = GMEndpoint(sh, 10, slots=4, buf_size=4096)
+    server_ep11 = GMEndpoint(sh, 11, slots=4, buf_size=4096)
+    user_client = RPCClient(ch, user_ep, "server", kernel=False)
+    kern_client = RPCClient(ch, kern_ep, "server", kernel=True)
+    for ep in (server_ep10, server_ep11):
+        srv = RPCServer(sh, ep)
+
+        def h(s, req):
+            yield from s.host.cpu.execute(0.5)
+            return RPCReply()
+
+        srv.register("op", h)
+        srv.start()
+
+    def run(client):
+        before = ch.cpu.busy.busy_us
+        yield from client.call("op")
+        return ch.cpu.busy.busy_us - before
+
+    user_cost = sim.run_process(run(user_client))
+    kern_cost = sim.run_process(run(kern_client))
+    assert kern_cost == pytest.approx(
+        user_cost + 2 * params.proto.kernel_rpc_extra_us)
+
+
+def test_rpc_over_udp(rig):
+    sim, ch, sh = rig
+    client_sock = UDPStack(ch).socket(2049)
+    server_sock = UDPStack(sh).socket(2049)
+    client = RPCClient(ch, client_sock, "server", kernel=True)
+    server = RPCServer(sh, server_sock)
+
+    def read(srv, req):
+        yield from srv.host.cpu.execute(1.0)
+        return RPCReply(inline_bytes=16384, data="nfs-data")
+
+    server.register("read", read)
+    server.start()
+
+    def caller():
+        resp = yield from client.call("read")
+        return resp.data
+
+    assert sim.run_process(caller()) == "nfs-data"
+
+
+def test_rddp_tagged_response_lands_in_user_buffer(rig):
+    """RDDP-RPC end to end: the NIC header-splits the tagged response and
+    the payload lands in the pre-posted user buffer with no copy."""
+    sim, ch, sh = rig
+    client_sock = UDPStack(ch).socket(2049)
+    server_sock = UDPStack(sh).socket(2049)
+    client = RPCClient(ch, client_sock, "server", kernel=True)
+    server = RPCServer(sh, server_sock)
+
+    def read(srv, req):
+        yield from srv.host.cpu.execute(1.0)
+        return RPCReply(inline_bytes=32768, data="direct-placed")
+
+    server.register("read", read)
+    server.start()
+    user_buf = ch.mem.alloc(32768, name="user")
+
+    def caller():
+        resp = yield from client.call("read", rddp_buffer=user_buf)
+        return resp.meta.get("rddp_split_done"), user_buf.data
+
+    split_done, data = sim.run_process(caller())
+    assert split_done is True
+    assert data == "direct-placed"
+    assert ch.nic.stats.get("rddp_split") == 1
+    # Registration must be balanced: buffer unpinned after the call.
+    assert not any(p.pinned for p in user_buf.pages)
+
+
+def test_rddp_tag_cancelled_after_call(rig):
+    sim, ch, sh = rig
+    client_sock = UDPStack(ch).socket(2049)
+    server_sock = UDPStack(sh).socket(2049)
+    client = RPCClient(ch, client_sock, "server")
+    server = RPCServer(sh, server_sock)
+
+    def read(srv, req):
+        yield from srv.host.cpu.execute(1.0)
+        return RPCReply(inline_bytes=4096, data="x")
+
+    server.register("read", read)
+    server.start()
+    buf = ch.mem.alloc(4096)
+
+    def caller():
+        yield from client.call("read", rddp_buffer=buf)
+        return len(ch.nic._rddp_tags)
+
+    assert sim.run_process(caller()) == 0

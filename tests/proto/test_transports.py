@@ -1,0 +1,198 @@
+"""Tests for GM/VI endpoints and the UDP stack, anchored to Table 2."""
+
+import pytest
+
+from repro.hw import Host, NotifyMode
+from repro.net import Switch
+from repro.params import default_params
+from repro.proto import GMEndpoint, UDPStack, VIEndpoint
+from repro.sim import Simulator
+
+
+def make_pair(params=None):
+    sim = Simulator()
+    params = params or default_params()
+    switch = Switch(sim, params.net)
+    a = Host(sim, params, switch, "A")
+    b = Host(sim, params, switch, "B")
+    return sim, a, b
+
+
+def pingpong_rtt(sim, ep_a, ep_b, nbytes=1):
+    """One-byte ping-pong round trip time over two endpoints."""
+
+    def pong():
+        yield from ep_b.recv()
+        yield from ep_b.send("A", nbytes)
+
+    def ping():
+        start = sim.now
+        yield from ep_a.send("B", nbytes)
+        yield from ep_a.recv()
+        return sim.now - start
+
+    sim.process(pong())
+    proc = sim.process(ping())
+    sim.run()
+    return proc.value
+
+
+def stream_bandwidth(sim, send_fn, recv_fn, count, nbytes):
+    """Throughput of `count` back-to-back messages of `nbytes`."""
+
+    def sender():
+        for i in range(count):
+            yield from send_fn(i)
+
+    def receiver():
+        for _ in range(count):
+            yield from recv_fn()
+        return count * nbytes / sim.now
+
+    sim.process(sender())
+    proc = sim.process(receiver())
+    sim.run()
+    return proc.value
+
+
+class TestVI:
+    def test_poll_rtt_matches_table2(self):
+        """Table 2: VI polling 1-byte RTT ~= 23 us."""
+        sim, a, b = make_pair()
+        ep_a = VIEndpoint(a, 1, mode=NotifyMode.POLL, slots=4, buf_size=4096)
+        ep_b = VIEndpoint(b, 1, mode=NotifyMode.POLL, slots=4, buf_size=4096)
+        rtt = pingpong_rtt(sim, ep_a, ep_b)
+        assert rtt == pytest.approx(23.0, rel=0.20)
+
+    def test_block_rtt_matches_table2(self):
+        """Table 2: VI blocking 1-byte RTT ~= 53 us."""
+        sim, a, b = make_pair()
+        ep_a = VIEndpoint(a, 1, mode=NotifyMode.BLOCK, slots=4, buf_size=4096)
+        ep_b = VIEndpoint(b, 1, mode=NotifyMode.BLOCK, slots=4, buf_size=4096)
+        rtt = pingpong_rtt(sim, ep_a, ep_b)
+        assert rtt == pytest.approx(53.0, rel=0.20)
+
+    def test_block_slower_than_poll(self):
+        sim1, a1, b1 = make_pair()
+        poll = pingpong_rtt(
+            sim1,
+            VIEndpoint(a1, 1, mode=NotifyMode.POLL, slots=4, buf_size=4096),
+            VIEndpoint(b1, 1, mode=NotifyMode.POLL, slots=4, buf_size=4096))
+        sim2, a2, b2 = make_pair()
+        block = pingpong_rtt(
+            sim2,
+            VIEndpoint(a2, 1, mode=NotifyMode.BLOCK, slots=4, buf_size=4096),
+            VIEndpoint(b2, 1, mode=NotifyMode.BLOCK, slots=4, buf_size=4096))
+        assert block > poll + 20.0
+
+    def test_stream_bandwidth_matches_table2(self):
+        """Table 2: VI streaming bandwidth ~= 244 MB/s."""
+        sim, a, b = make_pair()
+        size = 64 * 1024
+        ep_a = VIEndpoint(a, 1, slots=4, buf_size=size)
+        ep_b = VIEndpoint(b, 1, slots=64, buf_size=size)
+        bw = stream_bandwidth(
+            sim,
+            lambda i: ep_a.send("B", size, data=i),
+            ep_b.recv, count=48, nbytes=size)
+        assert bw == pytest.approx(244.0, rel=0.05)
+
+
+class TestGM:
+    def test_recv_reposts_ring_buffer(self):
+        sim, a, b = make_pair()
+        ep_a = GMEndpoint(a, 1, slots=2, buf_size=4096)
+        ep_b = GMEndpoint(b, 1, slots=2, buf_size=4096)
+
+        def sender():
+            for i in range(8):  # more messages than ring slots
+                yield from ep_a.send("B", 1024, data=i)
+                yield from ep_a.recv()  # simple ack to pace the ring
+
+        def echo():
+            for _ in range(8):
+                msg = yield from ep_b.recv()
+                yield from ep_b.send("A", 1, data=msg.data)
+
+        sim.process(echo())
+        proc = sim.process(sender())
+        sim.run()
+        assert proc.triggered
+        assert b.nic.stats.get("gm_recv_drop") == 0
+
+
+class TestUDP:
+    def test_rtt_matches_table2(self):
+        """Table 2: UDP/Ethernet 1-byte RTT ~= 80 us."""
+        sim, a, b = make_pair()
+        sock_a = UDPStack(a).socket(2049)
+        sock_b = UDPStack(b).socket(2049)
+
+        def pong():
+            yield from sock_b.recv()
+            yield from sock_b.send("A", 1)
+
+        def ping():
+            start = sim.now
+            yield from sock_a.send("B", 1)
+            yield from sock_a.recv()
+            return sim.now - start
+
+        sim.process(pong())
+        proc = sim.process(ping())
+        sim.run()
+        assert proc.value == pytest.approx(80.0, rel=0.25)
+
+    def test_stream_bandwidth_matches_table2(self):
+        """Table 2: UDP streaming (netperf-style, copies both sides)
+        ~= 166 MB/s."""
+        sim, a, b = make_pair()
+        sock_a = UDPStack(a).socket(9000)
+        sock_b = UDPStack(b).socket(9000)
+        size = 32 * 1024
+        count = 64
+
+        def send(i):
+            yield from sock_a.send("B", size, data=i, copy="cached")
+
+        def recv():
+            msg = yield from sock_b.recv()
+            yield from b.cpu.copy(msg.size, cached=True)
+
+        bw = stream_bandwidth(sim, send, recv, count, size)
+        assert bw == pytest.approx(166.0, rel=0.15)
+
+    def test_duplicate_bind_rejected(self):
+        sim, a, b = make_pair()
+        stack = UDPStack(a)
+        stack.socket(7)
+        with pytest.raises(ValueError):
+            stack.socket(7)
+
+    def test_unbound_port_drops(self):
+        sim, a, b = make_pair()
+        UDPStack(b)  # stack exists, no socket bound
+        sock_a = UDPStack(a).socket(5)
+
+        def sender():
+            yield from sock_a.send("B", 100, data="x")
+
+        sim.process(sender())
+        sim.run()  # must not raise
+
+    def test_payload_delivered_intact(self):
+        sim, a, b = make_pair()
+        sock_a = UDPStack(a).socket(53)
+        sock_b = UDPStack(b).socket(53)
+
+        def sender():
+            yield from sock_a.send("B", 24 * 1024, data={"k": "v"})
+
+        def receiver():
+            msg = yield from sock_b.recv()
+            return msg.data, msg.size
+
+        sim.process(sender())
+        proc = sim.process(receiver())
+        sim.run()
+        assert proc.value == ({"k": "v"}, 24 * 1024)

@@ -1,0 +1,329 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5.0)
+        yield sim.timeout(2.5)
+        return sim.now
+
+    assert sim.run_process(proc()) == 7.5
+    assert sim.now == 7.5
+
+
+def test_zero_delay_timeout_runs_at_same_time():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(0.0)
+        return sim.now
+
+    assert sim.run_process(proc()) == 0.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_event_succeed_delivers_value():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter():
+        value = yield ev
+        return value
+
+    def trigger():
+        yield sim.timeout(3.0)
+        ev.succeed("payload")
+
+    proc = sim.process(waiter())
+    sim.process(trigger())
+    sim.run()
+    assert proc.value == "payload"
+    assert sim.now == 3.0
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    def trigger():
+        yield sim.timeout(1.0)
+        ev.fail(ValueError("boom"))
+
+    proc = sim.process(waiter())
+    sim.process(trigger())
+    sim.run()
+    assert proc.value == "caught boom"
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("nope"))
+
+
+def test_unwaited_failed_event_surfaces():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("lost error"))
+    with pytest.raises(RuntimeError, match="lost error"):
+        sim.run()
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(1.0)
+        return 42
+
+    def outer():
+        value = yield sim.process(inner())
+        return value + 1
+
+    assert sim.run_process(outer()) == 43
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(1.0)
+        raise KeyError("inner failure")
+
+    def outer():
+        try:
+            yield sim.process(inner())
+        except KeyError:
+            return "handled"
+
+    assert sim.run_process(outer()) == "handled"
+
+
+def test_unhandled_process_exception_raises_from_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 5  # not an Event
+
+    proc = sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+    assert proc.triggered
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100.0)
+
+    sim.process(proc())
+    sim.run(until=30.0)
+    assert sim.now == 30.0
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+
+    def worker(delay):
+        yield sim.timeout(delay)
+        return delay
+
+    def main():
+        procs = [sim.process(worker(d)) for d in (3.0, 1.0, 2.0)]
+        results = yield sim.all_of(procs)
+        return sorted(results.values())
+
+    assert sim.run_process(main()) == [1.0, 2.0, 3.0]
+    assert sim.now == 3.0
+
+
+def test_any_of_returns_on_first_completion():
+    sim = Simulator()
+
+    def worker(delay):
+        yield sim.timeout(delay)
+        return delay
+
+    def main():
+        procs = [sim.process(worker(d)) for d in (3.0, 1.0)]
+        results = yield sim.any_of(procs)
+        return list(results.values())
+
+    assert sim.run_process(main()) == [1.0]
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+
+    def main():
+        results = yield sim.all_of([])
+        return results
+
+    assert sim.run_process(main()) == {}
+
+
+def test_interrupt_raises_in_process():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            return ("interrupted", intr.cause, sim.now)
+
+    def interrupter(victim):
+        yield sim.timeout(5.0)
+        victim.interrupt("deadline")
+
+    victim = sim.process(sleeper())
+    sim.process(interrupter(victim))
+    sim.run()
+    assert victim.value == ("interrupted", "deadline", 5.0)
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_call_at_runs_function_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(12.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [12.0]
+
+
+def test_call_at_in_the_past_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(10.0)
+        sim.call_at(5.0, lambda: None)
+
+    sim.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_waiting_on_already_processed_event():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("early")
+
+    def late_waiter():
+        # Let the event be processed before anyone waits on it.
+        yield sim.timeout(5.0)
+        value = yield ev
+        return value
+
+    assert sim.run_process(late_waiter()) == "early"
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    ticks = []
+
+    def ticker():
+        while True:
+            yield sim.timeout(1.0)
+            ticks.append(sim.now)
+            if sim.now >= 3.0:
+                sim.stop()
+
+    sim.process(ticker())
+    sim.run()
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_any_of_with_pending_timeout_waits():
+    """Regression: a freshly created Timeout must not count as triggered —
+    any_of(event, timeout) must wait for whichever fires first."""
+    sim = Simulator()
+
+    def proc():
+        ev = sim.event()
+        timeout = sim.timeout(100.0)
+
+        def trigger():
+            yield sim.timeout(5.0)
+            ev.succeed("early")
+
+        sim.process(trigger())
+        results = yield sim.any_of([ev, timeout])
+        return list(results.values()), sim.now
+
+    values, now = sim.run_process(proc())
+    assert values == ["early"]
+    assert now == 5.0
+
+
+def test_timeout_not_triggered_until_fired():
+    sim = Simulator()
+    timeout = sim.timeout(10.0)
+    assert not timeout.triggered
+    sim.run()
+    assert timeout.triggered
+    assert timeout.value is None

@@ -1,0 +1,158 @@
+"""Unit tests for measurement instruments."""
+
+import pytest
+
+from repro.sim import (
+    BusyTracker,
+    Counter,
+    LatencyStats,
+    RandomStreams,
+    Simulator,
+    ThroughputMeter,
+)
+
+
+class TestBusyTracker:
+    def test_utilization_over_window(self):
+        sim = Simulator()
+        tracker = BusyTracker(sim)
+
+        def proc():
+            yield sim.timeout(100.0)
+            tracker.reset_window()
+            tracker.add(30.0, "copy")
+            yield sim.timeout(60.0)
+
+        sim.run_process(proc())
+        assert tracker.window_utilization() == pytest.approx(0.5)
+        assert tracker.by_category["copy"] == 30.0
+
+    def test_zero_elapsed_is_zero(self):
+        sim = Simulator()
+        tracker = BusyTracker(sim)
+        assert tracker.window_utilization() == 0.0
+        assert tracker.utilization() == 0.0
+
+    def test_negative_rejected(self):
+        tracker = BusyTracker(Simulator())
+        with pytest.raises(ValueError):
+            tracker.add(-1.0)
+
+    def test_utilization_capped_at_one(self):
+        sim = Simulator()
+        tracker = BusyTracker(sim)
+
+        def proc():
+            tracker.add(100.0)
+            yield sim.timeout(10.0)
+
+        sim.run_process(proc())
+        assert tracker.utilization() == 1.0
+
+
+class TestLatencyStats:
+    def test_basic_stats(self):
+        stats = LatencyStats()
+        for x in (10.0, 20.0, 30.0):
+            stats.record(x)
+        assert stats.count == 3
+        assert stats.mean == 20.0
+        assert stats.minimum == 10.0
+        assert stats.maximum == 30.0
+        assert stats.stdev == pytest.approx(10.0)
+
+    def test_percentiles(self):
+        stats = LatencyStats()
+        for x in range(1, 101):
+            stats.record(float(x))
+        assert stats.percentile(50) == 50.0
+        assert stats.percentile(99) == 99.0
+        assert stats.percentile(100) == 100.0
+        with pytest.raises(ValueError):
+            stats.percentile(101)
+
+    def test_empty_stats_are_zero(self):
+        stats = LatencyStats()
+        assert stats.mean == 0.0
+        assert stats.stdev == 0.0
+        assert stats.percentile(50) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats().record(-1.0)
+
+    def test_reset(self):
+        stats = LatencyStats()
+        stats.record(5.0)
+        stats.reset()
+        assert stats.count == 0
+
+
+class TestThroughputMeter:
+    def test_rate_in_window(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim)
+
+        def proc():
+            yield sim.timeout(10.0)
+            meter.reset_window()
+            meter.add(500.0)
+            yield sim.timeout(5.0)
+
+        sim.run_process(proc())
+        assert meter.rate() == pytest.approx(100.0)
+        assert meter.mb_per_s() == pytest.approx(100.0)
+        assert meter.per_second() == pytest.approx(100.0 * 1e6)
+        assert meter.window_total() == 500.0
+
+    def test_zero_window(self):
+        meter = ThroughputMeter(Simulator())
+        meter.add(10.0)
+        assert meter.rate() == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter(Simulator()).add(-1.0)
+
+
+class TestCounter:
+    def test_incr_get_ratio(self):
+        counter = Counter()
+        counter.incr("hits", 3)
+        counter.incr("misses")
+        assert counter.get("hits") == 3
+        assert counter.get("unknown") == 0
+        assert counter.ratio("hits", "misses") == 3.0
+        assert counter.ratio("hits", "nothing") is None
+        assert counter.as_dict() == {"hits": 3, "misses": 1}
+
+    def test_reset(self):
+        counter = Counter()
+        counter.incr("x")
+        counter.reset()
+        assert counter.get("x") == 0
+
+
+class TestRandomStreams:
+    def test_streams_are_deterministic(self):
+        a = RandomStreams(7).stream("foo")
+        b = RandomStreams(7).stream("foo")
+        assert [a.random() for _ in range(5)] == \
+            [b.random() for _ in range(5)]
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(7)
+        foo = streams.stream("foo")
+        first = foo.random()
+        # Drawing from another stream must not perturb 'foo'.
+        streams2 = RandomStreams(7)
+        streams2.stream("bar").random()
+        assert streams2.stream("foo").random() == first
+
+    def test_different_seeds_differ(self):
+        assert RandomStreams(1).stream("s").random() != \
+            RandomStreams(2).stream("s").random()
+
+    def test_same_stream_object_returned(self):
+        streams = RandomStreams(7)
+        assert streams.stream("x") is streams.stream("x")

@@ -1,0 +1,142 @@
+"""Tests for the structured tracing subsystem."""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.params import KB
+from repro.sim import Simulator, Tracer
+from repro.sim.trace import TraceEvent
+
+
+class TestTracerCore:
+    def test_emit_and_filter(self):
+        sim = Simulator()
+        tracer = Tracer.attach(sim)
+
+        def proc():
+            tracer.emit("compA", "kindX", value=1)
+            yield sim.timeout(10.0)
+            tracer.emit("compB", "kindX", value=2)
+            tracer.emit("compA", "kindY", value=3)
+
+        sim.run_process(proc())
+        assert len(tracer) == 3
+        assert len(tracer.filter(component="compA")) == 2
+        assert len(tracer.filter(kind="kindX")) == 2
+        assert len(tracer.filter(component="compA", kind="kindX")) == 1
+        assert len(tracer.filter(since=5.0)) == 2
+
+    def test_timestamps_follow_sim_clock(self):
+        sim = Simulator()
+        tracer = Tracer.attach(sim)
+
+        def proc():
+            yield sim.timeout(42.0)
+            tracer.emit("c", "k")
+
+        sim.run_process(proc())
+        assert tracer.filter()[0].ts == 42.0
+
+    def test_ring_buffer_bounds_memory(self):
+        sim = Simulator()
+        tracer = Tracer(sim, capacity=10)
+        for i in range(25):
+            tracer.emit("c", "k", i=i)
+        assert len(tracer) == 10
+        assert tracer.dropped == 15
+        assert tracer.emitted == 25
+        assert tracer.filter()[0].detail["i"] == 15  # oldest kept
+
+    def test_counts_and_clear(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.emit("c", "a")
+        tracer.emit("c", "a")
+        tracer.emit("c", "b")
+        assert tracer.counts() == {"a": 2, "b": 1}
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_dump_jsonl(self, tmp_path):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.emit("c", "k", x=1)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.dump_jsonl(str(path)) == 1
+        record = json.loads(path.read_text().strip())
+        assert record == {"ts": 0.0, "component": "c", "kind": "k", "x": 1}
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(Simulator(), capacity=0)
+
+    def test_repr_is_readable(self):
+        ev = TraceEvent(12.5, "nic", "rdma-get", {"bytes": 4096})
+        assert "nic" in repr(ev) and "rdma-get" in repr(ev)
+
+
+class TestInstrumentation:
+    def test_odafs_read_produces_nic_and_rpc_events(self):
+        cluster = Cluster(system="odafs", block_size=4 * KB,
+                          client_kwargs={"cache_blocks": 2})
+        cluster.create_file("f", 32 * KB)
+        tracer = Tracer.attach(cluster.sim)
+        client = cluster.clients[0]
+
+        def proc():
+            for i in range(8):
+                yield from client.read("f", i * 4 * KB, 4 * KB)
+            for i in range(8):
+                yield from client.read("f", i * 4 * KB, 4 * KB)
+
+        cluster.sim.run_process(proc())
+        counts = tracer.counts()
+        assert counts.get("rpc-call", 0) >= 8
+        assert counts.get("rpc-serve", 0) >= 8
+        assert counts.get("rdma-get", 0) >= 6   # pass-2 ORDMA reads
+        assert counts.get("get-served", 0) >= 6
+        # Every get the client issued was served or faulted.
+        gets = len(tracer.filter(component="client0", kind="rdma-get"))
+        served = len(tracer.filter(component="server", kind="get-served"))
+        faults = len(tracer.filter(component="server", kind="ordma-fault"))
+        assert gets == served + faults
+
+    def test_fault_events_carry_reason(self):
+        cluster = Cluster(system="odafs", block_size=4 * KB,
+                          client_kwargs={"cache_blocks": 2})
+        cluster.create_file("f", 16 * KB)
+        tracer = Tracer.attach(cluster.sim)
+        client = cluster.clients[0]
+
+        def proc():
+            for i in range(4):
+                yield from client.read("f", i * 4 * KB, 4 * KB)
+            cluster.cache.invalidate(("f", 0))
+            yield from client.read("f", 0, 4 * KB)
+
+        cluster.sim.run_process(proc())
+        faults = tracer.filter(kind="ordma-fault")
+        assert len(faults) == 1
+        assert faults[0].detail["reason"] == "invalid translation"
+        assert faults[0].detail["initiator"] == "client0"
+
+    def test_tracing_disabled_by_default_and_free(self):
+        cluster = Cluster(system="dafs", block_size=4 * KB,
+                          client_kwargs={"cache_blocks": 2})
+        cluster.create_file("f", 4 * KB)
+        assert cluster.sim.tracer is None
+        client = cluster.clients[0]
+
+        def proc():
+            yield from client.read("f", 0, 4 * KB)
+
+        cluster.sim.run_process(proc())  # must not raise
+
+    def test_detach(self):
+        sim = Simulator()
+        tracer = Tracer.attach(sim)
+        assert sim.tracer is tracer
+        Tracer.detach(sim)
+        assert sim.tracer is None

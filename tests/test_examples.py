@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs to completion and prints what
+its docstring promises."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "ORDMA" in out
+    assert "delegation=True" in out
+    assert "('demo.dat', 0, 1)" in out  # write bumped the version
+
+
+def test_media_streaming():
+    out = run_example("media_streaming.py")
+    assert "nfs" in out and "dafs" in out
+    # NFS copy-bound, DAFS near the wire.
+    for line in out.splitlines():
+        if line.startswith("nfs "):
+            assert float(line.split()[1]) < 100.0
+        if line.startswith("dafs"):
+            assert float(line.split()[1]) > 200.0
+
+
+def test_oltp_small_io():
+    out = run_example("oltp_small_io.py")
+    assert "dafs" in out and "odafs" in out
+    assert "0.0%" in out  # ODAFS server CPU
+
+
+def test_fault_handling():
+    out = run_example("fault_handling.py")
+    assert "!!" not in out  # no unexpected access was allowed
+    assert "capability check failed" in out
+    assert "segment access revoked" in out
+    assert "page not resident" in out
+    assert "page locked by host" in out
+
+
+def test_remote_paging():
+    out = run_example("remote_paging.py")
+    assert "dafs" in out and "odafs" in out
+
+
+def test_examples_are_documented():
+    for script in EXAMPLES.glob("*.py"):
+        source = script.read_text()
+        assert source.lstrip().startswith(('#!/usr/bin/env python3\n"""',
+                                           '"""')), script
+
+
+def test_tracing_analysis():
+    out = run_example("tracing_analysis.py")
+    assert "event counts" in out
+    assert "rdma-get" in out
+    assert "full trace" in out and ".jsonl" in out
