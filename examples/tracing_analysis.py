@@ -4,8 +4,10 @@
 Attaches the structured tracer to a simulation, runs a small ODAFS
 workload through a server under memory pressure, and analyzes the event
 stream: how many RPCs vs ORDMA gets, which faults occurred and why, and a
-timeline excerpt around the first fault. Dumps the full trace to JSONL
-for external tooling.
+timeline excerpt around the first fault. Then folds the request *spans*
+the same run collected into per-path waterfalls — where each 4 KB read
+spent its time, stage by stage. Dumps the full trace (events + spans) to
+JSONL for external tooling.
 
 Run:  python examples/tracing_analysis.py
 """
@@ -13,6 +15,7 @@ Run:  python examples/tracing_analysis.py
 import tempfile
 
 from repro import KB, default_params
+from repro.bench.tracecli import render_waterfall
 from repro.cluster import Cluster
 from repro.nas.server.vm_pressure import MemoryPressure
 from repro.sim import Tracer
@@ -55,12 +58,26 @@ def main():
         for ev in window[:12]:
             print(f"  {ev}")
 
+    spans = tracer.finished_spans(op="read")
+    paths = sorted({s.path for s in spans})
+    print(f"\n{len(spans)} read spans; paths: {paths}")
+    print("one waterfall per data path (time flows left to right):")
+    shown = set()
+    for span in spans:
+        if span.path in shown:
+            continue
+        shown.add(span.path)
+        print()
+        print(render_waterfall(span))
+
     with tempfile.NamedTemporaryFile(suffix=".jsonl",
                                      delete=False) as fh:
         path = fh.name
     written = tracer.dump_jsonl(path)
-    print(f"\nfull trace ({written} events) written to {path}")
+    print(f"\nfull trace ({written} events+spans) written to {path}")
     print(f"ring buffer: emitted={tracer.emitted} dropped={tracer.dropped}")
+    print("(re-analyze it any time: repro-bench trace --input "
+          f"{path})")
 
 
 if __name__ == "__main__":

@@ -179,11 +179,21 @@ def main(argv=None) -> int:
     """Entry point for the ``repro-bench`` console script."""
     import json
 
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        # Span/trace analysis has its own option set (see tracecli).
+        from .tracecli import main as trace_main
+        return trace_main(list(argv[1:]))
+
     parser = argparse.ArgumentParser(
         prog="repro-bench",
-        description="Regenerate the FAST'03 paper's tables and figures.")
+        description="Regenerate the FAST'03 paper's tables and figures. "
+                    "The extra 'trace' subcommand analyzes end-to-end "
+                    "request spans (repro-bench trace --help).")
     parser.add_argument("target", choices=list(TARGETS) + ["all"],
-                        help="which table/figure to regenerate")
+                        help="which table/figure to regenerate "
+                             "(or 'trace' for span analysis)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller workloads (same shapes, faster)")
     parser.add_argument("--json", action="store_true",

@@ -1,0 +1,326 @@
+"""``repro-bench trace`` — span waterfalls and per-stage latency tables.
+
+Runs a small-I/O workload with a tracer attached (or loads a previously
+dumped JSONL trace) and prints where each request's time went: ASCII span
+waterfalls, per-stage p50/p95/p99 tables grouped by data path (RPC, RDMA,
+ORDMA, ORDMA-fault-fallback, local), the ORDMA fault timeline, and cache
+hit-rate summaries. In live mode it also cross-checks the spans against
+an independent response-time meter: the per-span stage sums must agree
+with the measured end-to-end mean.
+
+Examples::
+
+    repro-bench trace                          # live ODAFS 4 KB reads
+    repro-bench trace --system dafs --blocks 32
+    repro-bench trace --dump /tmp/t.jsonl      # save the raw trace
+    repro-bench trace --input /tmp/t.jsonl     # re-analyze a dump
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..cluster import SYSTEMS, Cluster
+from ..params import KB, default_params
+from ..sim import LatencyStats, Span, Tracer, load_jsonl
+
+#: Order in which data paths are reported.
+PATH_ORDER = ("rpc", "rdma", "ordma", "ordma-fallback", "local")
+
+_WATERFALL_WIDTH = 44
+
+
+# ---------------------------------------------------------------------------
+# Live workload
+# ---------------------------------------------------------------------------
+
+def run_workload(system: str = "odafs", blocks: int = 64,
+                 block_kb: int = 4, passes: int = 2,
+                 fault_blocks: int = 4) -> Dict[str, Any]:
+    """Run the Table 3-style small-I/O microbenchmark with tracing on.
+
+    A file warm in the server cache is read ``passes`` times in
+    ``block_kb`` KB increments through a small (8-block) client cache.
+    For ODAFS, ``fault_blocks`` server cache blocks are invalidated
+    between the passes so the optimistic path demonstrably faults and
+    falls back to RPC. Returns the cluster, tracer and response meter.
+    """
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown system {system!r}; one of {SYSTEMS}")
+    block = block_kb * KB
+    client_kwargs: Dict[str, Any] = {}
+    if system in ("dafs", "odafs"):
+        client_kwargs = {"cache_blocks": 8, "rpc_read_mode": "direct"}
+    cluster = Cluster(default_params(), system=system, block_size=block,
+                      server_cache_blocks=blocks + 8,
+                      client_kwargs=client_kwargs)
+    cluster.create_file("micro", blocks * block)
+    tracer = Tracer.attach(cluster.sim)
+    client = cluster.clients[0]
+    meter = LatencyStats("read_response")
+
+    def main():
+        yield from client.open("micro")
+        for pass_no in range(passes):
+            if pass_no == 1 and system == "odafs":
+                # Stale references: the next optimistic read of these
+                # blocks faults at the server NIC and retries via RPC.
+                for i in range(min(fault_blocks, blocks)):
+                    cluster.cache.invalidate(("micro", i))
+            for i in range(blocks):
+                start = cluster.sim.now
+                yield from client.read("micro", i * block, block)
+                meter.record(cluster.sim.now - start)
+
+    cluster.sim.run_process(main())
+    return {"cluster": cluster, "tracer": tracer, "meter": meter}
+
+
+# ---------------------------------------------------------------------------
+# Analysis
+# ---------------------------------------------------------------------------
+
+def path_mix(spans: Sequence[Span]) -> Dict[str, int]:
+    """Count finished spans by the data path they took."""
+    out: Dict[str, int] = {}
+    for span in spans:
+        out[span.path] = out.get(span.path, 0) + 1
+    return out
+
+
+def stage_tables(spans: Sequence[Span]) -> Dict[str, Dict[str, LatencyStats]]:
+    """{path: {stage: LatencyStats of per-span stage time}}."""
+    tables: Dict[str, Dict[str, LatencyStats]] = {}
+    for span in spans:
+        stages = tables.setdefault(span.path, {})
+        for stage, us in span.breakdown().items():
+            stats = stages.get(stage)
+            if stats is None:
+                stats = stages[stage] = LatencyStats(stage)
+            stats.record(us)
+    return tables
+
+
+def span_sum_mean(spans: Sequence[Span]) -> float:
+    """Mean of per-span stage sums (== mean duration by construction)."""
+    if not spans:
+        return 0.0
+    return sum(sum(s.breakdown().values()) for s in spans) / len(spans)
+
+
+def _sorted_paths(keys) -> List[str]:
+    order = {p: i for i, p in enumerate(PATH_ORDER)}
+    return sorted(keys, key=lambda p: (order.get(p, len(order)), p))
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def render_waterfall(span: Span) -> str:
+    """ASCII waterfall of one span: per-stage bars on a shared time axis."""
+    total = span.duration if span.finished else None
+    if not total:
+        return f"span #{span.rid} {span.op} (unfinished)"
+    lines = [f"span #{span.rid} {span.op} origin={span.origin} "
+             f"path={span.path} total={total:.2f}us"]
+    for stage, component, start, dur in span.stages():
+        rel = start - span.start_ts
+        lead = int(round(rel / total * _WATERFALL_WIDTH))
+        width = max(1, int(round(dur / total * _WATERFALL_WIDTH)))
+        bar = " " * min(lead, _WATERFALL_WIDTH - 1) + "#" * width
+        lines.append(f"  {rel:9.2f} {dur:8.2f}us  {stage:<16} "
+                     f"{component:<12} {bar[:_WATERFALL_WIDTH + 8]}")
+    return "\n".join(lines)
+
+
+def render_stage_tables(
+        tables: Dict[str, Dict[str, LatencyStats]]) -> str:
+    """Per-path stage tables (count/mean/p50/p95/p99) plus a sum row."""
+    lines: List[str] = []
+    for path in _sorted_paths(tables):
+        stages = tables[path]
+        n = max(s.count for s in stages.values())
+        lines.append(f"path={path} ({n} spans)")
+        lines.append(f"  {'stage':<16} {'count':>5} {'mean':>9} "
+                     f"{'p50':>9} {'p95':>9} {'p99':>9}")
+        total_mean = 0.0
+        for stage, stats in sorted(stages.items(),
+                                   key=lambda kv: -kv[1].mean):
+            total_mean += stats.mean * stats.count / n
+            lines.append(
+                f"  {stage:<16} {stats.count:>5} {stats.mean:>9.2f} "
+                f"{stats.percentile(50):>9.2f} "
+                f"{stats.percentile(95):>9.2f} "
+                f"{stats.percentile(99):>9.2f}")
+        lines.append(f"  {'(stage sum/span)':<16} {'':>5} "
+                     f"{total_mean:>9.2f}us")
+    return "\n".join(lines)
+
+
+def render_fault_timeline(events) -> str:
+    """Chronological list of ORDMA faults with initiator and reason."""
+    faults = [ev for ev in events if ev.kind == "ordma-fault"]
+    if not faults:
+        return "  (no ORDMA faults)"
+    lines = []
+    for ev in faults:
+        detail = ev.detail
+        lines.append(f"  [{ev.ts:12.2f}us] {ev.component:<10} "
+                     f"initiator={detail.get('initiator')} "
+                     f"reason={detail.get('reason')!r}")
+    return "\n".join(lines)
+
+
+def render_cache_summary(events,
+                         cluster: Optional[Cluster] = None) -> str:
+    """Client-cache event tallies, plus server-cache hit rate if live."""
+    counts: Dict[str, int] = {}
+    for ev in events:
+        if ev.kind in ("cache-hit", "cache-miss", "cache-evict"):
+            counts[ev.kind] = counts.get(ev.kind, 0) + 1
+    hits = counts.get("cache-hit", 0)
+    total = hits + counts.get("cache-miss", 0)
+    lines = [f"  client cache events: {hits} hits, "
+             f"{counts.get('cache-miss', 0)} misses, "
+             f"{counts.get('cache-evict', 0)} evictions"
+             + (f" (hit rate {hits / total:.1%})" if total else "")]
+    if cluster is not None:
+        server = cluster.metrics.subtree("server.cache")
+        s_hits = server.get("server.cache.hits", 0)
+        s_total = s_hits + server.get("server.cache.misses", 0)
+        lines.append(f"  server cache: {s_hits} hits, "
+                     f"{server.get('server.cache.misses', 0)} misses"
+                     + (f" (hit rate {s_hits / s_total:.1%})"
+                        if s_total else ""))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def _select_waterfalls(spans: Sequence[Span], limit: int) -> List[Span]:
+    """One exemplar per path first, longest-duration extras after."""
+    chosen: List[Span] = []
+    seen_paths = set()
+    for span in spans:
+        if span.path not in seen_paths:
+            seen_paths.add(span.path)
+            chosen.append(span)
+    extras = sorted((s for s in spans if s not in chosen),
+                    key=lambda s: -s.duration)
+    chosen.extend(extras)
+    return chosen[:max(0, limit)]
+
+
+def main(argv=None) -> int:
+    """Entry point for ``repro-bench trace``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench trace",
+        description="Analyze end-to-end request spans: waterfalls, "
+                    "per-stage latency tables, fault timelines.")
+    parser.add_argument("--input", metavar="PATH",
+                        help="analyze a dumped JSONL trace instead of "
+                             "running a workload")
+    parser.add_argument("--system", default="odafs", choices=SYSTEMS,
+                        help="NAS system for the live workload")
+    parser.add_argument("--blocks", type=int, default=64,
+                        help="blocks per pass in the live workload")
+    parser.add_argument("--block-kb", type=int, default=4,
+                        help="I/O size in KB")
+    parser.add_argument("--passes", type=int, default=2,
+                        help="number of read passes over the file")
+    parser.add_argument("--dump", metavar="PATH",
+                        help="also write the raw trace as JSONL")
+    parser.add_argument("--waterfalls", type=int, default=3,
+                        help="how many span waterfalls to print")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload (16 blocks, 1+1 passes)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the analysis as JSON")
+    args = parser.parse_args(argv)
+
+    meter = None
+    cluster = None
+    if args.input:
+        try:
+            dump = load_jsonl(args.input)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot read --input trace: {exc}")
+        events = dump.events
+        spans = dump.finished_spans()
+        source = f"{args.input} ({dump.emitted} emitted, "\
+                 f"{dump.dropped} dropped)"
+    else:
+        blocks = 16 if args.quick else args.blocks
+        live = run_workload(system=args.system, blocks=blocks,
+                            block_kb=args.block_kb, passes=args.passes)
+        cluster = live["cluster"]
+        tracer = live["tracer"]
+        meter = live["meter"]
+        if args.dump:
+            tracer.dump_jsonl(args.dump)
+        events = list(tracer)
+        spans = tracer.finished_spans()
+        source = (f"live {args.system}, {blocks}x{args.block_kb}KB reads "
+                  f"x{args.passes} passes")
+
+    read_spans = [s for s in spans if s.op == "read"]
+    tables = stage_tables(read_spans)
+    mix = path_mix(read_spans)
+
+    if args.json:
+        out: Dict[str, Any] = {
+            "source": source,
+            "path_mix": mix,
+            "stages": {path: {stage: stats.summary()
+                              for stage, stats in stages.items()}
+                       for path, stages in tables.items()},
+            "faults": [ev.as_dict() for ev in events
+                       if ev.kind == "ordma-fault"],
+        }
+        if meter is not None:
+            out["meter_mean_us"] = meter.mean
+            out["span_sum_mean_us"] = span_sum_mean(read_spans)
+        print(json.dumps(out, indent=2, default=str))
+        return 0
+
+    print(f"Trace analysis — {source}")
+    print(f"\n== Path mix ({len(read_spans)} read spans) ==")
+    for path in _sorted_paths(mix):
+        print(f"  {path:<16} {mix[path]:>5}")
+
+    print("\n== Per-stage latency by path (us) ==")
+    print(render_stage_tables(tables))
+
+    print("\n== Span waterfalls ==")
+    for span in _select_waterfalls(read_spans, args.waterfalls):
+        print(render_waterfall(span))
+
+    print("\n== ORDMA fault timeline ==")
+    print(render_fault_timeline(events))
+
+    print("\n== Cache summary ==")
+    print(render_cache_summary(events, cluster))
+
+    if meter is not None and meter.count:
+        spans_mean = span_sum_mean(read_spans)
+        delta = abs(spans_mean - meter.mean) / meter.mean * 100.0
+        print(f"\n== Consistency check ==")
+        print(f"  meter mean response time : {meter.mean:10.2f} us "
+              f"({meter.count} reads)")
+        print(f"  span stage-sum mean      : {spans_mean:10.2f} us "
+              f"({len(read_spans)} spans)")
+        print(f"  delta                    : {delta:10.3f} %"
+              + ("  [OK <1%]" if delta < 1.0 else "  [MISMATCH]"))
+        if delta >= 1.0:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

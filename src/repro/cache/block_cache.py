@@ -14,7 +14,7 @@ from typing import Any, Dict, Hashable, List, Optional
 
 from ..hw.host import Host
 from ..hw.memory import Buffer
-from ..sim import Counter
+from ..sim import Counter, trace_emit
 from .lru import LRUPolicy
 from .policy import ReplacementPolicy
 
@@ -44,6 +44,7 @@ class ClientFileCache:
         if block_size < 1:
             raise ValueError(f"block size must be >= 1: {block_size}")
         self.host = host
+        self.name = name
         self.block_size = block_size
         self.capacity_blocks = capacity_blocks
         self.policy = policy or LRUPolicy(capacity_blocks)
@@ -63,12 +64,19 @@ class ClientFileCache:
 
     def probe(self, key: BlockKey) -> Optional[CacheBlock]:
         """Look up a block; refreshes recency on hit."""
+        sim = self.host.sim
         block = self._blocks.get(key)
         if block is None:
             self.stats.incr("misses")
+            if sim.tracer is not None:
+                trace_emit(sim, f"{self.host.name}.{self.name}",
+                           "cache-miss", key=str(key))
             return None
         self.policy.touch(key)
         self.stats.incr("hits")
+        if sim.tracer is not None:
+            trace_emit(sim, f"{self.host.name}.{self.name}",
+                       "cache-hit", key=str(key))
         return block
 
     def peek(self, key: BlockKey) -> Optional[CacheBlock]:
@@ -88,6 +96,11 @@ class ClientFileCache:
             victim.buffer.data = None
             self._free.append(victim.buffer)
             self.stats.incr("evictions")
+            if self.host.sim.tracer is not None:
+                trace_emit(self.host.sim,
+                           f"{self.host.name}.{self.name}",
+                           "cache-evict", key=str(victim_key),
+                           for_key=str(key))
         buffer = self._free.pop()
         block = CacheBlock(key, buffer, None)
         self._blocks[key] = block

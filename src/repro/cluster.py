@@ -33,7 +33,7 @@ from .nas.server.filecache import ServerFileCache
 from .nas.server.server import DAFSServer, NFSServer, ODAFSServer
 from .net.link import Switch
 from .params import Params, default_params
-from .sim import RandomStreams, Simulator
+from .sim import MetricsRegistry, RandomStreams, Simulator
 
 SYSTEMS = ("nfs", "nfs-prepost", "nfs-remap", "nfs-hybrid", "dafs", "odafs")
 
@@ -86,6 +86,28 @@ class Cluster:
                         use_capabilities=use_capabilities)
             self.client_hosts.append(host)
             self.clients.append(self._make_client(host, kwargs))
+
+        #: One hierarchical read-out over every component's instruments.
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        reg = self.metrics
+        reg.register("server.cpu", self.server_host.cpu.busy)
+        reg.register("server.nic", self.server_host.nic.stats)
+        reg.register("server.disk", self.disk.stats)
+        reg.register("server.cache", self.cache.stats)
+        reg.register("server.ops", self.server.stats)
+        reg.register("server.rpc", self.server.rpc.stats)
+        for i, (host, client) in enumerate(zip(self.client_hosts,
+                                               self.clients)):
+            reg.register(f"client{i}.cpu", host.cpu.busy)
+            reg.register(f"client{i}.nic", host.nic.stats)
+            reg.register(f"client{i}.ops", client.stats)
+            reg.register(f"client{i}.rpc", client.rpc.stats)
+            cache = getattr(client, "cache", None)
+            if cache is not None and hasattr(cache, "stats"):
+                reg.register(f"client{i}.cache", cache.stats)
 
     def _make_client(self, host: Host, kwargs: Dict):
         if self.system == "nfs":

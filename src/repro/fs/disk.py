@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Generator
 
 from ..params import StorageParams
-from ..sim import Counter, Resource, Simulator
+from ..sim import Counter, Resource, Simulator, trace_emit
 
 
 class Disk:
@@ -36,6 +36,9 @@ class Disk:
     def _access(self, nbytes: int, counter: str) -> Generator:
         if nbytes < 0:
             raise ValueError(f"negative disk I/O size: {nbytes}")
+        if self.sim.tracer is not None:
+            trace_emit(self.sim, self.name, "disk-io-start", op=counter,
+                       bytes=nbytes)
         req = self._spindle.request()
         yield req
         try:
@@ -45,3 +48,6 @@ class Disk:
             self._spindle.release(req)
         self.stats.incr(counter)
         self.stats.incr("bytes", nbytes)
+        if self.sim.tracer is not None:
+            trace_emit(self.sim, self.name, "disk-io-complete", op=counter,
+                       bytes=nbytes)

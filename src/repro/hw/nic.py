@@ -196,16 +196,20 @@ class NIC:
 
     def rdma_put(self, dst: str, remote_addr: int, nbytes: int,
                  data: Any = None, capability: Optional[bytes] = None,
-                 optimistic: bool = False) -> Generator:
+                 optimistic: bool = False, span=None) -> Generator:
         """Remote write. Yields until the remote NIC acknowledges.
 
         Optimistic puts may raise :class:`RemoteAccessFault` at the yield
         point; plain puts on registered memory fault only on stack bugs.
         """
         done = Event(self.sim)
+        meta: Dict[str, Any] = {"addr": remote_addr,
+                                "capability": capability,
+                                "optimistic": optimistic}
+        if span is not None:
+            meta["_span"] = span
         msg = Message(MsgKind.RDMA_PUT, self.name, dst, nbytes, data=data,
-                      meta={"addr": remote_addr, "capability": capability,
-                            "optimistic": optimistic})
+                      meta=meta)
         self._pending_rdma[msg.msg_id] = {"event": done, "kind": "put"}
         self.stats.incr("rdma_put")
         trace_emit(self.sim, self.name, "rdma-put", dst=dst,
@@ -213,22 +217,29 @@ class NIC:
                    optimistic=optimistic)
         yield from self.cpu.execute(self.params.nic.doorbell_us,
                                     category="doorbell")
+        if span is not None:
+            span.mark(self.name, "nic.doorbell", op="rdma-put",
+                      bytes=nbytes)
         self.sim.process(self._tx(msg, from_host=True, fetch_descriptor=True),
                          name=f"{self.name}.put")
         result = yield done
+        if span is not None:
+            span.mark(self.name, "rdma.ack")
         return result
 
     def rdma_get(self, dst: str, remote_addr: int, nbytes: int,
                  local_buffer: Optional[Buffer] = None,
                  capability: Optional[bytes] = None,
-                 optimistic: bool = False) -> Generator:
+                 optimistic: bool = False, span=None) -> Generator:
         """Remote read. Yields until the data lands in ``local_buffer``;
         returns the payload object. May raise :class:`RemoteAccessFault`."""
         done = Event(self.sim)
-        msg = Message(MsgKind.RDMA_GET_REQ, self.name, dst, 0,
-                      meta={"addr": remote_addr, "nbytes": nbytes,
-                            "capability": capability,
-                            "optimistic": optimistic})
+        meta: Dict[str, Any] = {"addr": remote_addr, "nbytes": nbytes,
+                                "capability": capability,
+                                "optimistic": optimistic}
+        if span is not None:
+            meta["_span"] = span
+        msg = Message(MsgKind.RDMA_GET_REQ, self.name, dst, 0, meta=meta)
         self._pending_rdma[msg.msg_id] = {
             "event": done, "kind": "get", "buffer": local_buffer,
         }
@@ -238,6 +249,9 @@ class NIC:
                    optimistic=optimistic)
         yield from self.cpu.execute(self.params.nic.doorbell_us,
                                     category="doorbell")
+        if span is not None:
+            span.mark(self.name, "nic.doorbell", op="rdma-get",
+                      bytes=nbytes)
         self.sim.process(self._tx(msg, from_host=True, fetch_descriptor=True),
                          name=f"{self.name}.get")
         data = yield done
@@ -269,6 +283,7 @@ class NIC:
                 self.firmware.release(fw)
             if from_host and frame.payload_bytes > 0:
                 yield self.pci.dma(frame.payload_bytes)
+                self.stats.incr("dma_bytes", frame.payload_bytes)
             self.switch.transmit(self.name, frame)
 
     def _wire_format(self, msg: Message):
@@ -321,6 +336,7 @@ class NIC:
         split = xid is not None and xid in self._rddp_tags
         if frame.payload_bytes > 0:
             yield self.pci.dma(frame.payload_bytes)
+            self.stats.incr("dma_bytes", frame.payload_bytes)
         if not self._reassembler.add(frame):
             return
         if split:
@@ -350,6 +366,7 @@ class NIC:
     def _rx_eth(self, frame: Frame) -> Generator:
         if frame.payload_bytes > 0:
             yield self.pci.dma(frame.payload_bytes)
+            self.stats.incr("dma_bytes", frame.payload_bytes)
         msg = self._reassembler.add(frame)
         # The Ethernet driver interrupts per fragment group; the IP stack
         # charges its own per-fragment costs in the handler.
@@ -429,6 +446,13 @@ class NIC:
             if fault is not None:
                 meta["faulted"] = fault
                 self.stats.incr("ordma_fault")
+                trace_emit(self.sim, self.name, "ordma-fault",
+                           initiator=msg.src, reason=fault.value,
+                           msg=msg.msg_id, op="put")
+                span = meta.get("_span")
+                if span is not None:
+                    span.mark(self.name, "ordma.reject",
+                              reason=fault.value)
                 self._nic_send(Message(
                     MsgKind.RDMA_FAULT, self.name, msg.src, 0,
                     meta={"for": msg.msg_id, "reason": fault}))
@@ -436,6 +460,7 @@ class NIC:
             return  # sink remaining frames of a faulted put
         if frame.payload_bytes > 0:
             yield self.pci.dma(frame.payload_bytes)
+            self.stats.incr("dma_bytes", frame.payload_bytes)
         if not self._reassembler.add(frame):
             return
         seg = yield from self._tlb_walk(meta["addr"], msg.size,
@@ -443,6 +468,9 @@ class NIC:
         if msg.data is not None:
             seg.buffer.data = msg.data
         self.stats.incr("rdma_put_served")
+        span = meta.get("_span")
+        if span is not None:
+            span.mark(self.name, "rdma.data", bytes=msg.size)
         # Ack turnaround in the target firmware (latency only).
         yield self.sim.timeout(self.params.nic.put_ack_delay_us)
         self._nic_send(Message(MsgKind.RDMA_PUT_ACK, self.name, msg.src, 0,
@@ -462,6 +490,10 @@ class NIC:
                 trace_emit(self.sim, self.name, "ordma-fault",
                            initiator=msg.src, reason=fault.value,
                            msg=msg.msg_id)
+                span = meta.get("_span")
+                if span is not None:
+                    span.mark(self.name, "ordma.reject",
+                              reason=fault.value)
                 self._nic_send(Message(
                     MsgKind.RDMA_FAULT, self.name, msg.src, 0,
                     meta={"for": msg.msg_id, "reason": fault}))
@@ -484,6 +516,9 @@ class NIC:
         self.stats.incr("rdma_get_served")
         trace_emit(self.sim, self.name, "get-served", initiator=msg.src,
                    bytes=nbytes, msg=msg.msg_id)
+        span = meta.get("_span")
+        if span is not None:
+            span.mark(self.name, "ordma.server", bytes=nbytes)
         resp = Message(MsgKind.RDMA_GET_RESP, self.name, msg.src, nbytes,
                        data=seg.buffer.data, meta={"for": msg.msg_id})
         self.sim.process(self._tx(resp, from_host=True,

@@ -13,7 +13,7 @@ from ...hw.host import Host
 from ...hw.memory import Buffer
 from ...net.packet import Message
 from ...proto.rpc import RPC_HEADER_BYTES, RPCClient
-from ...sim import Counter
+from ...sim import Counter, Span
 from ..delegation import READ
 
 
@@ -66,13 +66,21 @@ class NASClient:
         if self.kernel:
             yield from self.cpu.syscall()
 
+    def _start_span(self, op: str, **detail) -> Optional[Span]:
+        """Open a request span when a tracer is attached, else ``None``."""
+        tracer = self.sim.tracer
+        if tracer is None:
+            return None
+        return tracer.start_span(self.host.name, op, **detail)
+
     def _call(self, proc: str, args: Optional[Dict[str, Any]] = None,
               req_bytes: int = RPC_HEADER_BYTES,
               rddp_buffer: Optional[Buffer] = None,
-              rddp_untagged: bool = False) -> Generator:
+              rddp_untagged: bool = False,
+              span: Optional[Span] = None) -> Generator:
         response: Message = yield from self.rpc.call(
             proc, args, req_bytes=req_bytes, rddp_buffer=rddp_buffer,
-            rddp_untagged=rddp_untagged)
+            rddp_untagged=rddp_untagged, span=span)
         for name in response.meta.get("recall", ()):  # piggybacked recalls
             handle = self._handles.get(name)
             if handle is not None:
@@ -92,13 +100,16 @@ class NASClient:
             self.stats.incr("local_opens")
             return handle
         yield from self._syscall()
+        span = self._start_span("open", name=name)
         response = yield from self._call("open", {"name": name,
-                                                  "mode": mode})
+                                                  "mode": mode}, span=span)
         handle = FileHandle(name, response.meta["size"],
                             response.meta["mtime"],
                             response.meta.get("delegation", False), mode)
         self._handles[name] = handle
         self.stats.incr("remote_opens")
+        if span is not None:
+            span.finish(self.host.name)
         return handle
 
     def close(self, name: str) -> Generator:

@@ -54,8 +54,15 @@ class DAFSClient(NASClient):
     # -- direct path ---------------------------------------------------------
 
     def read_direct(self, name: str, offset: int, nbytes: int,
-                    app_buffer: Optional[Buffer] = None) -> Generator:
+                    app_buffer: Optional[Buffer] = None,
+                    span=None) -> Generator:
         """Read straight into a registered application buffer."""
+        own_span = span is None
+        if own_span:
+            span = self._start_span("read", name=name, offset=offset,
+                                    nbytes=nbytes)
+        if span is not None and self.rpc_read_mode == "direct":
+            span.path = "rdma"
         if app_buffer is None:
             app_buffer = self.host.mem.alloc(nbytes, name="dafs-anon")
         if app_buffer.size < nbytes:
@@ -67,14 +74,18 @@ class DAFSClient(NASClient):
             seg = yield from self.registrations.lookup(app_buffer)
             args["client_addr"] = seg.base
             args["client_cap"] = seg.capability
-        response = yield from self._call("read", args)
+        response = yield from self._call("read", args, span=span)
         if self.rpc_read_mode != "direct":
             # In-line payload: copy from the communication buffer to the
             # destination (Section 5.2's 'RPC in-line read' client copy).
             yield from self.cpu.copy(nbytes, cached=False)
+            if span is not None:
+                span.mark(self.host.name, "client.copy", bytes=nbytes)
             app_buffer.data = response.data
         self.stats.incr("reads")
         self.stats.incr("read_bytes", nbytes)
+        if own_span and span is not None:
+            span.finish(self.host.name)
         return app_buffer.data
 
     # -- cached path ----------------------------------------------------------
@@ -85,21 +96,24 @@ class DAFSClient(NASClient):
         last = (offset + max(nbytes, 1) - 1) // bs
         return list(range(first, last + 1))
 
-    def _fill_block(self, name: str, index: int,
-                    block: CacheBlock) -> Generator:
+    def _fill_block(self, name: str, index: int, block: CacheBlock,
+                    span=None) -> Generator:
         """Fetch one cache block from the server into its frame."""
-        yield from self._remote_fill_rpc(name, index, block)
+        yield from self._remote_fill_rpc(name, index, block, span=span)
 
-    def _remote_fill_rpc(self, name: str, index: int,
-                         block: CacheBlock) -> Generator:
+    def _remote_fill_rpc(self, name: str, index: int, block: CacheBlock,
+                         span=None) -> Generator:
         bs = self.cache_block_size
+        if span is not None and span.path == "rpc" \
+                and self.rpc_read_mode == "direct":
+            span.path = "rdma"
         args = {"name": name, "offset": index * bs, "nbytes": bs,
                 "mode": self.rpc_read_mode}
         if self.rpc_read_mode == "direct":
             # Cache frames are registered at mount: no per-I/O cost here.
             args["client_addr"] = block.buffer.base
             args["client_cap"] = None
-        response = yield from self._call("read", args)
+        response = yield from self._call("read", args, span=span)
         if self.rpc_read_mode == "direct":
             data = block.buffer.data
         else:
@@ -121,6 +135,8 @@ class DAFSClient(NASClient):
             data = yield from self.read_direct(name, offset, nbytes,
                                                app_buffer)
             return data
+        span = self._start_span("read", name=name, offset=offset,
+                                nbytes=nbytes)
         datas: List[Any] = []
         fills: List[Tuple[int, CacheBlock]] = []
         for index in self._block_span(offset, nbytes):
@@ -136,9 +152,15 @@ class DAFSClient(NASClient):
             fills.append((index, block))
             datas.append(block)  # placeholder, resolved after the fill
             self.stats.incr("cache_misses")
+        if span is not None:
+            span.mark(self.host.name, "client.cache",
+                      hits=len(datas) - len(fills), misses=len(fills))
+            if not fills:
+                span.path = "local"
         if fills:
             # Internal read-ahead: fan out all misses concurrently.
-            procs = [self.sim.process(self._fill_block(name, i, b),
+            procs = [self.sim.process(self._fill_block(name, i, b,
+                                                       span=span),
                                       name=f"{self.host.name}.fill")
                      for i, b in fills]
             yield self.sim.all_of(procs)
@@ -148,6 +170,8 @@ class DAFSClient(NASClient):
                 else tuple(resolved)
         self.stats.incr("reads")
         self.stats.incr("read_bytes", nbytes)
+        if span is not None:
+            span.finish(self.host.name)
         return resolved[0] if len(resolved) == 1 else tuple(resolved)
 
     def _lock_barrier(self, name: str) -> None:
@@ -160,9 +184,11 @@ class DAFSClient(NASClient):
         """Write through to the server (inline payload RPC); invalidates
         the affected client-cache blocks."""
         from ...proto.rpc import RPC_HEADER_BYTES
+        span = self._start_span("write", name=name, offset=offset,
+                                nbytes=nbytes)
         response = yield from self._call(
             "write", {"name": name, "offset": offset, "nbytes": nbytes},
-            req_bytes=RPC_HEADER_BYTES + nbytes)
+            req_bytes=RPC_HEADER_BYTES + nbytes, span=span)
         if self.cache is not None:
             for index in self._block_span(offset, nbytes):
                 self.cache.invalidate((name, index))
@@ -170,6 +196,8 @@ class DAFSClient(NASClient):
         self._absorb_refs(response)
         self.stats.incr("writes")
         self.stats.incr("write_bytes", nbytes)
+        if span is not None:
+            span.finish(self.host.name)
         return response.meta
 
     # -- batch I/O (Section 2.2) ----------------------------------------------
@@ -182,6 +210,10 @@ class DAFSClient(NASClient):
         RPC asks the server to RDMA-write each extent, amortizing the
         client's per-I/O RPC cost across the set.
         """
+        span = self._start_span("read_batch", name=name,
+                                extents=len(extents))
+        if span is not None:
+            span.path = "rdma"
         batch = []
         for offset, nbytes, buffer in extents:
             seg = yield from self.registrations.lookup(buffer)
@@ -189,7 +221,9 @@ class DAFSClient(NASClient):
                           "client_addr": seg.base,
                           "client_cap": seg.capability})
         yield from self._call("read_batch", {"name": name,
-                                             "extents": batch})
+                                             "extents": batch}, span=span)
         self.stats.incr("batch_reads")
         self.stats.incr("read_bytes", sum(e[1] for e in extents))
+        if span is not None:
+            span.finish(self.host.name)
         return [e[2].data for e in extents]

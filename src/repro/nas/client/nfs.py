@@ -70,6 +70,8 @@ class NFSClient(NASClient):
 
     def read(self, name: str, offset: int, nbytes: int,
              app_buffer: Optional[Buffer] = None) -> Generator:
+        span = self._start_span("read", name=name, offset=offset,
+                                nbytes=nbytes)
         yield from self._syscall()
         host_p = self.host.params.host
         key = (name, offset, nbytes)
@@ -79,17 +81,21 @@ class NFSClient(NASClient):
         if cached is None:
             response = yield from self._call(
                 "read", {"name": name, "offset": offset, "nbytes": nbytes,
-                         "mode": "inline"})
+                         "mode": "inline"}, span=span)
             # NFS receive path: per-fragment mbuf-chain work, then the
             # staging copy from network buffers into the buffer cache.
             yield from self.cpu.execute(
                 self._fragments(nbytes) * self.proto.nfs_frag_us,
                 category="nfs")
             yield from self.cpu.copy(nbytes, cached=False)
+            if span is not None:
+                span.mark(self.host.name, "client.copy", bytes=nbytes)
             cached = response.data
             self.bcache.insert(key, cached)
             self.stats.incr("remote_reads")
         else:
+            if span is not None:
+                span.path = "local"
             self.stats.incr("cache_reads")
         # Copy from the buffer cache to the user buffer.
         yield from self.cpu.copy(nbytes, cached=False)
@@ -97,9 +103,13 @@ class NFSClient(NASClient):
             app_buffer.data = cached
         self.stats.incr("reads")
         self.stats.incr("read_bytes", nbytes)
+        if span is not None:
+            span.finish(self.host.name)
         return cached
 
     def write(self, name: str, offset: int, nbytes: int) -> Generator:
+        span = self._start_span("write", name=name, offset=offset,
+                                nbytes=nbytes)
         yield from self._syscall()
         host_p = self.host.params.host
         # Copy user buffer into the buffer cache, then transmit inline.
@@ -108,10 +118,14 @@ class NFSClient(NASClient):
         yield from self.cpu.copy(nbytes, cached=False)
         yield from self.cpu.execute(
             self._fragments(nbytes) * self.proto.nfs_frag_us, category="nfs")
+        if span is not None:
+            span.mark(self.host.name, "client.copy", bytes=nbytes)
         response = yield from self._call(
             "write", {"name": name, "offset": offset, "nbytes": nbytes},
-            req_bytes=RPC_HEADER_BYTES + nbytes)
+            req_bytes=RPC_HEADER_BYTES + nbytes, span=span)
         self.bcache.invalidate_file(name)
         self.stats.incr("writes")
         self.stats.incr("write_bytes", nbytes)
+        if span is not None:
+            span.finish(self.host.name)
         return response.meta

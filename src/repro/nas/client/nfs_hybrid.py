@@ -75,6 +75,10 @@ class NFSHybridClient(NASClient):
         if app_buffer.size < nbytes:
             raise ValueError(
                 f"user buffer too small: {app_buffer.size} < {nbytes}")
+        span = self._start_span("read", name=name, offset=offset,
+                                nbytes=nbytes)
+        if span is not None:
+            span.path = "rdma"
         yield from self._syscall()
         host_p = self.host.params.host
         if self.cache_registrations:
@@ -89,7 +93,7 @@ class NFSHybridClient(NASClient):
         yield from self._call(
             "read", {"name": name, "offset": offset, "nbytes": nbytes,
                      "mode": "direct", "client_addr": seg.base,
-                     "client_cap": seg.capability})
+                     "client_cap": seg.capability}, span=span)
         if not self.cache_registrations:
             self.host.nic.tpt.deregister(seg)
             yield from self.cpu.execute(
@@ -97,13 +101,19 @@ class NFSHybridClient(NASClient):
                 category="register")
         self.stats.incr("reads")
         self.stats.incr("read_bytes", nbytes)
+        if span is not None:
+            span.finish(self.host.name)
         return app_buffer.data
 
     def write(self, name: str, offset: int, nbytes: int) -> Generator:
+        span = self._start_span("write", name=name, offset=offset,
+                                nbytes=nbytes)
         yield from self._syscall()
         response = yield from self._call(
             "write", {"name": name, "offset": offset, "nbytes": nbytes},
-            req_bytes=RPC_HEADER_BYTES + nbytes)
+            req_bytes=RPC_HEADER_BYTES + nbytes, span=span)
         self.stats.incr("writes")
         self.stats.incr("write_bytes", nbytes)
+        if span is not None:
+            span.finish(self.host.name)
         return response.meta

@@ -39,6 +39,10 @@ class NFSPrepostClient(NASClient):
         if app_buffer.size < nbytes:
             raise ValueError(
                 f"user buffer too small: {app_buffer.size} < {nbytes}")
+        span = self._start_span("read", name=name, offset=offset,
+                                nbytes=nbytes)
+        if span is not None:
+            span.path = "rdma"
         yield from self._syscall()
         # rddp_buffer drives pin + tag pre-post + unpin inside the RPC
         # layer; sg=True asks the server for a scatter/gather (copy-free)
@@ -46,17 +50,21 @@ class NFSPrepostClient(NASClient):
         response = yield from self._call(
             "read", {"name": name, "offset": offset, "nbytes": nbytes,
                      "mode": "inline", "sg": True},
-            rddp_buffer=app_buffer)
+            rddp_buffer=app_buffer, span=span)
         if nbytes > 0 and not response.meta.get("rddp_split_done"):
             raise RuntimeError(
                 "pre-posted read response was not header-split by the NIC")
         self.stats.incr("reads")
         self.stats.incr("read_bytes", nbytes)
+        if span is not None:
+            span.finish(self.host.name)
         return app_buffer.data
 
     def write(self, name: str, offset: int, nbytes: int) -> Generator:
         # Outgoing path: scatter/gather DMA straight from the (pinned)
         # user buffer; no staging copy.
+        span = self._start_span("write", name=name, offset=offset,
+                                nbytes=nbytes)
         yield from self._syscall()
         host_p = self.host.params.host
         pages = (nbytes + 4095) // 4096
@@ -64,9 +72,11 @@ class NFSPrepostClient(NASClient):
                                     category="register")
         response = yield from self._call(
             "write", {"name": name, "offset": offset, "nbytes": nbytes},
-            req_bytes=RPC_HEADER_BYTES + nbytes)
+            req_bytes=RPC_HEADER_BYTES + nbytes, span=span)
         yield from self.cpu.execute(pages * host_p.deregister_page_us,
                                     category="register")
         self.stats.incr("writes")
         self.stats.incr("write_bytes", nbytes)
+        if span is not None:
+            span.finish(self.host.name)
         return response.meta

@@ -41,11 +41,15 @@ class NFSRemapClient(NASClient):
         if app_buffer.size < nbytes:
             raise ValueError(
                 f"user buffer too small: {app_buffer.size} < {nbytes}")
+        span = self._start_span("read", name=name, offset=offset,
+                                nbytes=nbytes)
+        if span is not None:
+            span.path = "rdma"
         yield from self._syscall()
         response = yield from self._call(
             "read", {"name": name, "offset": offset, "nbytes": nbytes,
                      "mode": "inline", "sg": True},
-            rddp_untagged=True)
+            rddp_untagged=True, span=span)
         if nbytes > 0 and not response.meta.get("rddp_untagged_done"):
             raise RuntimeError(
                 "untagged read response was not header-split by the NIC")
@@ -60,17 +64,26 @@ class NFSRemapClient(NASClient):
         if tail:
             yield from self.cpu.copy(tail, cached=True)
             self.stats.incr("tail_copies")
+        if span is not None and (full_pages or tail):
+            span.mark(self.host.name, "client.remap", pages=full_pages,
+                      tail=tail)
         app_buffer.data = response.meta.get("rddp_payload")
         self.stats.incr("reads")
         self.stats.incr("read_bytes", nbytes)
+        if span is not None:
+            span.finish(self.host.name)
         return app_buffer.data
 
     def write(self, name: str, offset: int, nbytes: int) -> Generator:
         # Outgoing path: scatter/gather DMA, as for the pre-posting client.
+        span = self._start_span("write", name=name, offset=offset,
+                                nbytes=nbytes)
         yield from self._syscall()
         response = yield from self._call(
             "write", {"name": name, "offset": offset, "nbytes": nbytes},
-            req_bytes=RPC_HEADER_BYTES + nbytes)
+            req_bytes=RPC_HEADER_BYTES + nbytes, span=span)
         self.stats.incr("writes")
         self.stats.incr("write_bytes", nbytes)
+        if span is not None:
+            span.finish(self.host.name)
         return response.meta

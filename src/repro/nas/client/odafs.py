@@ -60,14 +60,17 @@ class ODAFSClient(DAFSClient):
             self.directory.insert((name, index), ref)
         self.stats.incr("refs_absorbed", len(refs))
 
-    def _remote_fill_rpc(self, name, index, block) -> Generator:
+    def _remote_fill_rpc(self, name, index, block, span=None) -> Generator:
         bs = self.cache_block_size
+        if span is not None and span.path == "rpc" \
+                and self.rpc_read_mode == "direct":
+            span.path = "rdma"
         args = {"name": name, "offset": index * bs, "nbytes": bs,
                 "mode": self.rpc_read_mode}
         if self.rpc_read_mode == "direct":
             args["client_addr"] = block.buffer.base
             args["client_cap"] = None
-        response = yield from self._call("read", args)
+        response = yield from self._call("read", args, span=span)
         if self.rpc_read_mode == "direct":
             data = block.buffer.data
         else:
@@ -94,27 +97,36 @@ class ODAFSClient(DAFSClient):
 
     # -- the optimistic fill path ------------------------------------------------
 
-    def _fill_block(self, name: str, index: int,
-                    block: CacheBlock) -> Generator:
+    def _fill_block(self, name: str, index: int, block: CacheBlock,
+                    span=None) -> Generator:
         key = (name, index)
         yield from self.cpu.execute(self.proto.ordma_dir_op_us,
                                     category="directory")
         ref = self.directory.probe(key)
+        if span is not None:
+            span.mark(self.host.name, "ordma.directory",
+                      hit=ref is not None)
         if ref is not None:
             try:
-                data = yield from self.ordma.read(ref, local=block.buffer)
+                data = yield from self.ordma.read(ref, local=block.buffer,
+                                                  span=span)
             except RemoteAccessFault:
                 # Stale reference: drop it and guarantee success via RPC,
                 # whose response carries a fresh reference (Section 4.2.1).
                 self.directory.invalidate(key)
                 self.stats.incr("ordma_faults")
+                if span is not None:
+                    span.path = "ordma-fallback"
+                    span.mark(self.host.name, "ordma.fault")
             else:
                 self.cache.fill(block, data)
                 yield from self.cpu.execute(self.proto.ordma_dir_op_us,
                                             category="directory")
                 self.stats.incr("ordma_reads")
+                if span is not None:
+                    span.path = "ordma"
                 return
-        yield from self._remote_fill_rpc(name, index, block)
+        yield from self._remote_fill_rpc(name, index, block, span=span)
 
     # -- optimistic writes (library extension; see Section 4.2.2) -----------
 
@@ -133,26 +145,40 @@ class ODAFSClient(DAFSClient):
             raise ValueError("optimistic writes operate on whole blocks")
         index = offset // bs
         key = (name, index)
+        span = self._start_span("write", name=name, offset=offset,
+                                nbytes=nbytes, optimistic=True)
         yield from self.cpu.execute(self.proto.ordma_dir_op_us,
                                     category="directory")
         ref = self.directory.probe(key)
+        if span is not None:
+            span.mark(self.host.name, "ordma.directory",
+                      hit=ref is not None)
         if ref is not None:
             try:
                 # Move the bytes; the block's logical content is settled
                 # by the metadata RPC below (version bump).
-                yield from self.ordma.write(ref, None)
+                yield from self.ordma.write(ref, None, span=span)
             except RemoteAccessFault:
                 self.directory.invalidate(key)
                 self.stats.incr("ordma_faults")
+                if span is not None:
+                    span.path = "ordma-fallback"
+                    span.mark(self.host.name, "ordma.fault")
             else:
                 # Metadata still needs the server CPU: a payload-free RPC.
+                if span is not None:
+                    span.path = "ordma"
                 response = yield from self._call(
                     "write", {"name": name, "offset": offset, "nbytes": 0,
-                              "ordma_blocks": [index]})
+                              "ordma_blocks": [index]}, span=span)
                 response.meta["refs_name"] = name
                 self._absorb_refs(response)
                 if self.cache is not None:
                     self.cache.invalidate(key)
                 self.stats.incr("ordma_writes")
+                if span is not None:
+                    span.finish(self.host.name)
                 return
         yield from self.write(name, offset, nbytes)
+        if span is not None:
+            span.finish(self.host.name)

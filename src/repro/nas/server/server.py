@@ -18,7 +18,7 @@ from ...proto.messaging import GMEndpoint
 from ...proto.rpc import RPC_HEADER_BYTES, RPCReply, RPCRequest, RPCServer
 from ...proto.udp import UDPStack
 from ...proto.vi import VIEndpoint
-from ...sim import Counter
+from ...sim import Counter, trace_emit
 from ..delegation import READ, DelegationTable
 from ..locks import EXCLUSIVE, LockTable
 from .filecache import BlockKey, ServerBlock, ServerFileCache
@@ -54,12 +54,27 @@ class BaseFileServer:
             ("lock", self._h_lock), ("unlock", self._h_unlock),
             ("get_refs", self._h_get_refs),
         ]:
-            self.rpc.register(proc, handler)
+            self.rpc.register(proc, self._traced(proc, handler))
 
     def start(self) -> None:
         self.rpc.start()
 
     # -- helpers -----------------------------------------------------------
+
+    def _traced(self, proc: str, handler):
+        """Wrap a handler with dispatch/reply trace events."""
+        def wrapper(srv: RPCServer, request: RPCRequest) -> Generator:
+            if self.host.sim.tracer is not None:
+                trace_emit(self.host.sim, self.name, "srv-dispatch",
+                           proc=proc, xid=request.xid,
+                           client=request.client)
+            reply = yield from handler(srv, request)
+            if self.host.sim.tracer is not None:
+                trace_emit(self.host.sim, self.name, "srv-reply",
+                           proc=proc, xid=request.xid,
+                           bytes=reply.inline_bytes)
+            return reply
+        return wrapper
 
     def warm(self, name: str) -> None:
         """Preload every block of ``name`` into the file cache (the
@@ -68,14 +83,18 @@ class BaseFileServer:
             self.cache.insert((name, index),
                               self.fs.block_content(name, index))
 
-    def _get_block(self, key: BlockKey) -> Generator:
+    def _get_block(self, key: BlockKey, span=None) -> Generator:
         """Fetch one block through the cache, reading disk on a miss."""
         block = self.cache.lookup(key)
         if block is not None:
             return block
+        if span is not None:
+            span.mark(self.host.name, "server.cache", miss=True)
         proto = self.host.params.storage
         yield from self.host.cpu.execute(proto.disk_op_us, category="disk")
         yield from self.disk.read(self.cache.block_size)
+        if span is not None:
+            span.mark(self.host.name, "server.disk")
         data = self.fs.block_content(*key)
         return self.cache.insert(key, data)
 
@@ -164,15 +183,20 @@ class BaseFileServer:
         mode = args.get("mode", "inline")
         cpu = self.host.cpu
         proto = self.host.params.proto
+        span = request.span
         yield from cpu.execute(proto.fs_op_us, category="fs")
+        if span is not None:
+            span.mark(self.host.name, "server.fs")
         indices = self.fs.blocks_in_range(name, offset, nbytes)
         blocks: List[ServerBlock] = []
         for index in indices:
-            block = yield from self._get_block((name, index))
+            block = yield from self._get_block((name, index), span=span)
             blocks.append(block)
         if len(blocks) > 1:
             # Gathering additional cache blocks into one transfer.
             yield from cpu.execute(0.5 * (len(blocks) - 1), category="fs")
+        if span is not None:
+            span.mark(self.host.name, "server.cache", blocks=len(blocks))
         payload: Any = (blocks[0].data if len(blocks) == 1
                         else tuple(b.data for b in blocks))
         meta: Dict[str, Any] = {"size": nbytes}
@@ -190,8 +214,10 @@ class BaseFileServer:
             yield from cpu.execute(proto.rdma_issue_us, category="rdma")
             yield from self.host.nic.rdma_put(
                 request.client, args["client_addr"], nbytes, data=payload,
-                capability=args.get("client_cap"))
+                capability=args.get("client_cap"), span=span)
             yield from self._rdma_completion()
+            if span is not None:
+                span.mark(self.host.name, "server.rdma", bytes=nbytes)
             self.stats.incr("reads_direct")
             return self._finish(request, RPCReply(meta=meta))
         if mode == "inline":
@@ -201,6 +227,8 @@ class BaseFileServer:
             # the cache pages (the pre-posting reply path).
             if not args.get("sg"):
                 yield from cpu.copy(nbytes, cached=False)
+                if span is not None:
+                    span.mark(self.host.name, "server.copy", bytes=nbytes)
             self.stats.incr("reads_inline")
             return self._finish(request,
                                 RPCReply(inline_bytes=nbytes, data=payload,
@@ -276,22 +304,27 @@ class BaseFileServer:
         name = args["name"]
         cpu = self.host.cpu
         proto = self.host.params.proto
+        span = request.span
         yield from cpu.execute(proto.fs_op_us, category="fs")
+        if span is not None:
+            span.mark(self.host.name, "server.fs")
         total = 0
         for extent in args["extents"]:
             offset, nbytes = extent["offset"], extent["nbytes"]
             yield from cpu.execute(2.0, category="fs")  # per-extent setup
             blocks = []
             for index in self.fs.blocks_in_range(name, offset, nbytes):
-                block = yield from self._get_block((name, index))
+                block = yield from self._get_block((name, index), span=span)
                 blocks.append(block)
             payload = (blocks[0].data if len(blocks) == 1
                        else tuple(b.data for b in blocks))
             yield from cpu.execute(proto.rdma_issue_us, category="rdma")
             yield from self.host.nic.rdma_put(
                 request.client, extent["client_addr"], nbytes, data=payload,
-                capability=extent.get("client_cap"))
+                capability=extent.get("client_cap"), span=span)
             yield from self._rdma_completion()
+            if span is not None:
+                span.mark(self.host.name, "server.rdma", bytes=nbytes)
             total += nbytes
         self.stats.incr("batch_reads")
         self.stats.incr("read_bytes", total)

@@ -40,7 +40,7 @@ class ORDMAInitiator:
         self.stats = Counter()
 
     def read(self, ref: RemoteRef, local: Optional[Buffer] = None,
-             nbytes: Optional[int] = None) -> Generator:
+             nbytes: Optional[int] = None, span=None) -> Generator:
         """Optimistic read of ``ref`` into ``local``; returns the payload.
 
         Raises :class:`repro.hw.RemoteAccessFault` at the yield point when
@@ -49,11 +49,14 @@ class ORDMAInitiator:
         self.stats.incr("reads")
         data = yield from self.host.nic.rdma_get(
             ref.host, ref.addr, nbytes or ref.nbytes, local_buffer=local,
-            capability=ref.capability, optimistic=True)
+            capability=ref.capability, optimistic=True, span=span)
+        if span is not None:
+            span.mark(self.host.name, "ordma.complete",
+                      bytes=nbytes or ref.nbytes)
         return data
 
     def write(self, ref: RemoteRef, data: Any,
-              nbytes: Optional[int] = None) -> Generator:
+              nbytes: Optional[int] = None, span=None) -> Generator:
         """Optimistic write of ``data`` to ``ref``.
 
         ORDMA writes update data only; file metadata (mtime, block status)
@@ -63,4 +66,7 @@ class ORDMAInitiator:
         self.stats.incr("writes")
         yield from self.host.nic.rdma_put(
             ref.host, ref.addr, nbytes or ref.nbytes, data=data,
-            capability=ref.capability, optimistic=True)
+            capability=ref.capability, optimistic=True, span=span)
+        if span is not None:
+            span.mark(self.host.name, "ordma.complete",
+                      bytes=nbytes or ref.nbytes)

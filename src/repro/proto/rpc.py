@@ -31,7 +31,7 @@ class RPCError(RuntimeError):
 class RPCRequest:
     """Server-side view of one incoming call."""
 
-    __slots__ = ("message", "proc", "args", "xid", "client")
+    __slots__ = ("message", "proc", "args", "xid", "client", "span")
 
     def __init__(self, message: Message):
         self.message = message
@@ -40,6 +40,8 @@ class RPCRequest:
         self.args: Dict[str, Any] = meta.get("rpc_args", {})
         self.xid: int = meta["rpc_xid"]
         self.client: str = message.src
+        #: The request's trace span, when the client is tracing.
+        self.span = meta.get("_span")
 
 
 class RPCReply:
@@ -81,7 +83,7 @@ class RPCClient:
     def call(self, proc: str, args: Optional[Dict[str, Any]] = None,
              req_bytes: int = RPC_HEADER_BYTES,
              rddp_buffer: Optional[Buffer] = None,
-             rddp_untagged: bool = False) -> Generator:
+             rddp_untagged: bool = False, span=None) -> Generator:
         """Issue one RPC; yields until the response arrives.
 
         ``rddp_buffer`` activates RDDP-RPC: the buffer is pinned and tagged
@@ -91,6 +93,9 @@ class RPCClient:
         to split the payload into intermediate page-aligned buffers with
         no pre-posting; the caller re-maps pages afterwards (Section 2.2's
         untagged variant).
+
+        ``span`` (a :class:`repro.sim.Span` or ``None``) rides the request
+        to the server, collecting stage boundaries at every hop.
         """
         cpu = self.host.cpu
         proto = self.host.params.proto
@@ -117,8 +122,15 @@ class RPCClient:
         self.stats.incr("calls")
         trace_emit(self.host.sim, self.host.name, "rpc-call", proc=proc,
                    xid=xid, server=self.server)
+        if span is not None:
+            span.mark(self.host.name, "rpc.marshal", proc=proc, xid=xid)
+            meta["_span"] = span
         yield from self.transport.send(self.server, req_bytes, meta=meta)
+        if span is not None:
+            span.mark(self.host.name, "nic.tx")
         response: Message = yield done
+        if span is not None:
+            span.mark(self.host.name, "net.reply")
         yield from cpu.execute(proto.rpc_marshal_us, category="rpc")
         if self.kernel:
             yield from cpu.execute(proto.kernel_rpc_extra_us, category="rpc")
@@ -129,6 +141,8 @@ class RPCClient:
             yield from cpu.execute(
                 rddp_buffer.page_count * host_p.deregister_page_us,
                 category="register")
+        if span is not None:
+            span.mark(self.host.name, "rpc.unmarshal")
         if "rpc_error" in response.meta:
             raise RPCError(response.meta["rpc_error"])
         return response
@@ -177,6 +191,9 @@ class RPCServer:
         cpu = self.host.cpu
         proto = self.host.params.proto
         request = RPCRequest(msg)
+        span = request.span
+        if span is not None:
+            span.mark(self.host.name, "net.request", proc=request.proc)
         self.stats.incr("requests")
         trace_emit(self.host.sim, self.host.name, "rpc-serve",
                    proc=request.proc, xid=request.xid,
@@ -206,3 +223,5 @@ class RPCServer:
         yield from self.transport.send(
             request.client, RPC_HEADER_BYTES + reply.inline_bytes,
             data=reply.data, meta=resp_meta)
+        if span is not None:
+            span.mark(self.host.name, "server.reply")

@@ -11,10 +11,19 @@ from .core import (
     StopSimulation,
     Timeout,
 )
+from .metrics import MetricsRegistry
 from .monitor import BusyTracker, Counter, LatencyStats, ThroughputMeter
 from .rand import RandomStreams
 from .resources import BandwidthPipe, Request, Resource, Store
-from .trace import TraceEvent, Tracer, emit as trace_emit
+from .trace import (
+    Span,
+    TraceDump,
+    TraceEvent,
+    Tracer,
+    emit as trace_emit,
+    load_jsonl,
+    span_start,
+)
 
 __all__ = [
     "AllOf",
@@ -25,17 +34,22 @@ __all__ = [
     "Event",
     "Interrupt",
     "LatencyStats",
+    "MetricsRegistry",
     "Process",
     "RandomStreams",
     "Request",
     "Resource",
     "SimulationError",
     "Simulator",
+    "Span",
     "StopSimulation",
     "Store",
     "ThroughputMeter",
     "Timeout",
+    "TraceDump",
     "TraceEvent",
     "Tracer",
+    "load_jsonl",
+    "span_start",
     "trace_emit",
 ]

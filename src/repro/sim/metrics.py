@@ -1,0 +1,128 @@
+"""Unified metrics registry over the measurement instruments.
+
+The simulator's instruments (:class:`Counter`, :class:`ThroughputMeter`,
+:class:`LatencyStats`, :class:`BusyTracker`) historically floated freely
+inside components; the registry binds them under hierarchical dotted
+names (``server.cache``, ``client0.nic``, …) so one ``snapshot()`` call
+reads out the whole system — ``server.cache.hits``,
+``client0.nic.dma_bytes`` — and one ``to_json()`` exports it.
+
+Components keep owning their instruments; the registry only references
+them, so registration costs nothing on the hot path. ``Cluster`` builds
+a registry over every host's CPU, NIC, protocol and cache instruments at
+wiring time (see :mod:`repro.cluster`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, Optional
+
+from .core import Simulator
+from .monitor import BusyTracker, Counter, LatencyStats, ThroughputMeter
+
+
+class MetricsRegistry:
+    """Named instruments with a single hierarchical read-out."""
+
+    def __init__(self):
+        self._instruments: Dict[str, Any] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, name: str, instrument: Any) -> Any:
+        """Bind ``instrument`` under dotted ``name``; returns it."""
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        if name in self._instruments:
+            raise ValueError(f"metric {name!r} already registered")
+        self._instruments[name] = instrument
+        return instrument
+
+    def unregister(self, name: str) -> None:
+        self._instruments.pop(name, None)
+
+    # -- create-or-get helpers --------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self.register(name, Counter())
+        return inst
+
+    def latency(self, name: str,
+                reservoir: Optional[int] = None) -> LatencyStats:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self.register(name,
+                                 LatencyStats(name, reservoir=reservoir))
+        return inst
+
+    def throughput(self, sim: Simulator, name: str) -> ThroughputMeter:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self.register(name, ThroughputMeter(sim, name))
+        return inst
+
+    def busy(self, sim: Simulator, name: str) -> BusyTracker:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self.register(name, BusyTracker(sim, name))
+        return inst
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, name: str) -> Any:
+        return self._instruments[name]
+
+    def names(self) -> Iterator[str]:
+        return iter(sorted(self._instruments))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- read-out ----------------------------------------------------------
+
+    @staticmethod
+    def instrument_values(instrument: Any) -> Dict[str, Any]:
+        """Flatten one instrument into leaf-name -> JSON-safe value."""
+        if isinstance(instrument, Counter):
+            return dict(instrument.as_dict())
+        if isinstance(instrument, LatencyStats):
+            return instrument.summary()
+        if isinstance(instrument, ThroughputMeter):
+            return {"total": instrument.total, "rate": instrument.rate()}
+        if isinstance(instrument, BusyTracker):
+            out: Dict[str, Any] = {
+                "busy_us": instrument.busy_us,
+                "utilization": instrument.utilization(),
+            }
+            for category, us in instrument.by_category.items():
+                out[f"by.{category}"] = us
+            return out
+        if hasattr(instrument, "as_dict"):
+            return dict(instrument.as_dict())
+        raise TypeError(
+            f"unsupported instrument type {type(instrument).__name__}")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One flat ``{dotted.name: value}`` view of every instrument."""
+        out: Dict[str, Any] = {}
+        for name in sorted(self._instruments):
+            values = self.instrument_values(self._instruments[name])
+            for leaf, value in values.items():
+                out[f"{name}.{leaf}"] = value
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The snapshot as JSON (round-trips via ``json.loads``)."""
+        return json.dumps(self.snapshot(), indent=indent, default=str)
+
+    def subtree(self, prefix: str) -> Dict[str, Any]:
+        """Snapshot entries under ``prefix.`` (prefix itself excluded)."""
+        dotted = prefix + "."
+        return {name: value for name, value in self.snapshot().items()
+                if name.startswith(dotted)}

@@ -9,6 +9,7 @@ of the Table 3 microbenchmark) can be excluded, exactly as the paper does.
 from __future__ import annotations
 
 import math
+import random
 from typing import Dict, List, Optional
 
 from .core import Simulator
@@ -54,53 +55,111 @@ class BusyTracker:
 
 
 class LatencyStats:
-    """Streaming response-time statistics (Table 3, PostMark latencies)."""
+    """Streaming response-time statistics (Table 3, PostMark latencies).
 
-    def __init__(self, name: str = ""):
+    Count, mean, min, max and stdev are maintained as running aggregates
+    over *every* recorded sample. Percentiles come from the retained
+    sample list, which is unbounded by default; ``reservoir=k`` switches
+    to Vitter's algorithm R so long-running workloads keep a bounded,
+    uniform k-sample view (deterministic: seeded private RNG). The
+    sorted view used by :meth:`percentile` is cached behind a dirty
+    flag, so repeated percentile queries do not re-sort.
+    """
+
+    def __init__(self, name: str = "", reservoir: Optional[int] = None,
+                 seed: int = 0x5EED):
+        if reservoir is not None and reservoir < 1:
+            raise ValueError(f"reservoir must be >= 1: {reservoir}")
         self.name = name
-        self.samples: List[float] = []
+        self.reservoir = reservoir
+        self._seed = seed
+        self._rng = random.Random(seed) if reservoir is not None else None
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self._count = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def samples(self) -> List[float]:
+        """The retained samples (a uniform subsample in reservoir mode)."""
+        return self._samples
 
     def record(self, latency_us: float) -> None:
         if latency_us < 0:
             raise ValueError(f"negative latency: {latency_us}")
-        self.samples.append(latency_us)
+        self._count += 1
+        self._sum += latency_us
+        self._sumsq += latency_us * latency_us
+        if latency_us < self._min:
+            self._min = latency_us
+        if latency_us > self._max:
+            self._max = latency_us
+        if self.reservoir is not None and \
+                len(self._samples) >= self.reservoir:
+            # Algorithm R: keep each of the n samples with prob k/n.
+            slot = self._rng.randrange(self._count)
+            if slot < self.reservoir:
+                self._samples[slot] = latency_us
+                self._sorted = None
+            return
+        self._samples.append(latency_us)
+        self._sorted = None
 
     def reset(self) -> None:
-        self.samples.clear()
+        self._samples.clear()
+        self._sorted = None
+        self._count = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        if self.reservoir is not None:
+            self._rng = random.Random(self._seed)
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self._count
 
     @property
     def mean(self) -> float:
-        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+        return self._sum / self._count if self._count else 0.0
 
     @property
     def minimum(self) -> float:
-        return min(self.samples) if self.samples else 0.0
+        return self._min if self._count else 0.0
 
     @property
     def maximum(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        return self._max if self._count else 0.0
 
     @property
     def stdev(self) -> float:
-        n = len(self.samples)
+        n = self._count
         if n < 2:
             return 0.0
-        mu = self.mean
-        return math.sqrt(sum((x - mu) ** 2 for x in self.samples) / (n - 1))
+        var = (self._sumsq - self._sum * self._sum / n) / (n - 1)
+        return math.sqrt(max(0.0, var))
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile, ``p`` in [0, 100]."""
-        if not self.samples:
+        if not self._samples:
             return 0.0
         if not 0 <= p <= 100:
             raise ValueError(f"percentile out of range: {p}")
-        ordered = sorted(self.samples)
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        ordered = self._sorted
         rank = max(1, math.ceil(p / 100.0 * len(ordered)))
         return ordered[rank - 1]
+
+    def summary(self) -> Dict[str, float]:
+        """The registry/JSON-friendly read-out."""
+        return {"count": self._count, "mean": self.mean,
+                "p50": self.percentile(50), "p95": self.percentile(95),
+                "p99": self.percentile(99), "max": self.maximum}
 
 
 class ThroughputMeter:

@@ -1,0 +1,60 @@
+"""Tests for the ``repro-bench trace`` analysis subcommand."""
+
+import json
+
+from repro.bench import tracecli
+from repro.bench.cli import main as bench_main
+
+
+class TestWorkload:
+    def test_odafs_run_covers_all_paths(self):
+        live = tracecli.run_workload(system="odafs", blocks=16)
+        spans = live["tracer"].finished_spans(op="read")
+        paths = {s.path for s in spans}
+        assert {"rdma", "ordma", "ordma-fallback"} <= paths
+
+    def test_span_sums_match_meter_within_one_percent(self):
+        live = tracecli.run_workload(system="odafs", blocks=16)
+        meter = live["meter"]
+        spans = live["tracer"].finished_spans(op="read")
+        assert len(spans) == meter.count
+        span_mean = tracecli.span_sum_mean(spans)
+        assert abs(span_mean - meter.mean) / meter.mean < 0.01
+
+
+class TestCLI:
+    def test_text_output_sections(self, capsys):
+        assert tracecli.main(["--quick"]) == 0
+        out = capsys.readouterr().out
+        for section in ("Path mix", "Per-stage latency", "waterfalls",
+                        "ORDMA fault timeline", "Cache summary",
+                        "Consistency check"):
+            assert section in out
+        assert "[OK <1%]" in out
+        for path in ("rdma", "ordma", "ordma-fallback"):
+            assert path in out
+
+    def test_rpc_path_for_plain_nfs(self, capsys):
+        assert tracecli.main(["--quick", "--system", "nfs"]) == 0
+        out = capsys.readouterr().out
+        assert "path=rpc" in out
+
+    def test_json_output(self, capsys):
+        assert tracecli.main(["--quick", "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["path_mix"]
+        assert result["meter_mean_us"] > 0
+        delta = abs(result["span_sum_mean_us"] - result["meter_mean_us"])
+        assert delta / result["meter_mean_us"] < 0.01
+
+    def test_dump_and_input_round_trip(self, tmp_path, capsys):
+        dump = tmp_path / "t.jsonl"
+        assert tracecli.main(["--quick", "--dump", str(dump)]) == 0
+        capsys.readouterr()
+        assert tracecli.main(["--input", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "Path mix" in out and "ordma" in out
+
+    def test_dispatch_from_bench_cli(self, capsys):
+        assert bench_main(["trace", "--quick", "--waterfalls", "1"]) == 0
+        assert "Consistency check" in capsys.readouterr().out

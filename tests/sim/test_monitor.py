@@ -87,6 +87,58 @@ class TestLatencyStats:
         stats.reset()
         assert stats.count == 0
 
+    def test_percentile_cache_invalidated_by_new_samples(self):
+        stats = LatencyStats()
+        for x in (30.0, 10.0, 20.0):
+            stats.record(x)
+        assert stats.percentile(100) == 30.0  # builds the sorted cache
+        stats.record(40.0)
+        assert stats.percentile(100) == 40.0  # cache must refresh
+        assert stats.percentile(50) == 20.0
+
+    def test_summary_keys(self):
+        stats = LatencyStats()
+        for x in range(1, 101):
+            stats.record(float(x))
+        summary = stats.summary()
+        assert summary == {"count": 100, "mean": 50.5, "p50": 50.0,
+                           "p95": 95.0, "p99": 99.0, "max": 100.0}
+
+    def test_reservoir_bounds_retained_samples(self):
+        stats = LatencyStats(reservoir=50)
+        for x in range(1000):
+            stats.record(float(x))
+        assert len(stats.samples) == 50
+        # Running aggregates still cover every sample.
+        assert stats.count == 1000
+        assert stats.mean == pytest.approx(499.5)
+        assert stats.maximum == 999.0
+        # Percentiles come from a uniform subsample: roughly central.
+        assert 250.0 < stats.percentile(50) < 750.0
+
+    def test_reservoir_is_deterministic(self):
+        def fill():
+            stats = LatencyStats(reservoir=10)
+            for x in range(500):
+                stats.record(float(x))
+            return list(stats.samples)
+
+        assert fill() == fill()
+
+    def test_reservoir_reset_reseeds(self):
+        stats = LatencyStats(reservoir=10)
+        for x in range(500):
+            stats.record(float(x))
+        first = list(stats.samples)
+        stats.reset()
+        for x in range(500):
+            stats.record(float(x))
+        assert stats.samples == first
+
+    def test_invalid_reservoir_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats(reservoir=0)
+
 
 class TestThroughputMeter:
     def test_rate_in_window(self):

@@ -6,7 +6,7 @@ import pytest
 
 from repro.cluster import Cluster
 from repro.params import KB
-from repro.sim import Simulator, Tracer
+from repro.sim import LatencyStats, Simulator, Span, Tracer, load_jsonl
 from repro.sim.trace import TraceEvent
 
 
@@ -65,7 +65,11 @@ class TestTracerCore:
         tracer.emit("c", "k", x=1)
         path = tmp_path / "trace.jsonl"
         assert tracer.dump_jsonl(str(path)) == 1
-        record = json.loads(path.read_text().strip())
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "trace-header"
+        assert header["emitted"] == 1 and header["dropped"] == 0
+        record = json.loads(lines[1])
         assert record == {"ts": 0.0, "component": "c", "kind": "k", "x": 1}
 
     def test_invalid_capacity(self):
@@ -75,6 +79,132 @@ class TestTracerCore:
     def test_repr_is_readable(self):
         ev = TraceEvent(12.5, "nic", "rdma-get", {"bytes": 4096})
         assert "nic" in repr(ev) and "rdma-get" in repr(ev)
+
+
+class TestSpans:
+    def test_marks_monotonic_and_breakdown_sums_to_duration(self):
+        sim = Simulator()
+        tracer = Tracer.attach(sim)
+
+        def proc():
+            span = tracer.start_span("client0", "read", nbytes=4096)
+            yield sim.timeout(3.0)
+            span.mark("client0", "rpc.marshal")
+            yield sim.timeout(10.0)
+            span.mark("server", "net.request")
+            yield sim.timeout(7.0)
+            span.mark("server", "server.reply")
+            yield sim.timeout(2.5)
+            span.finish("client0")
+            return span
+
+        span = sim.run_process(proc())
+        timestamps = [ts for ts, _c, _s, _d in span.marks]
+        assert timestamps == sorted(timestamps)
+        assert span.finished and span.duration == pytest.approx(22.5)
+        breakdown = span.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(span.duration)
+        assert breakdown["rpc.marshal"] == pytest.approx(3.0)
+        assert breakdown["deliver"] == pytest.approx(2.5)
+
+    def test_stage_sums_match_measured_read_latency(self):
+        cluster = Cluster(system="odafs", block_size=4 * KB,
+                          client_kwargs={"cache_blocks": 2})
+        cluster.create_file("f", 16 * KB)
+        tracer = Tracer.attach(cluster.sim)
+        client = cluster.clients[0]
+        meter = LatencyStats()
+
+        def proc():
+            for _ in range(2):
+                for i in range(4):
+                    start = cluster.sim.now
+                    yield from client.read("f", i * 4 * KB, 4 * KB)
+                    meter.record(cluster.sim.now - start)
+
+        cluster.sim.run_process(proc())
+        spans = tracer.finished_spans(op="read")
+        assert len(spans) == meter.count
+        span_mean = sum(sum(s.breakdown().values())
+                        for s in spans) / len(spans)
+        assert span_mean == pytest.approx(meter.mean, rel=0.01)
+        # ODAFS pass 2 goes optimistic; pass 1 fills over RDMA.
+        paths = {s.path for s in spans}
+        assert "ordma" in paths and "rdma" in paths
+
+    def test_unfinished_span_has_no_duration(self):
+        sim = Simulator()
+        tracer = Tracer.attach(sim)
+        span = tracer.start_span("c", "read")
+        assert not span.finished
+        with pytest.raises(ValueError):
+            span.duration
+
+    def test_finished_spans_filters(self):
+        sim = Simulator()
+        tracer = Tracer.attach(sim)
+        a = tracer.start_span("c", "read")
+        a.path = "ordma"
+        a.finish("c")
+        b = tracer.start_span("c", "write")
+        b.finish("c")
+        tracer.start_span("c", "read")  # unfinished
+        assert len(tracer.finished_spans()) == 2
+        assert tracer.finished_spans(op="read") == [a]
+        assert tracer.finished_spans(path="ordma") == [a]
+        assert tracer.finished_spans(op="write", path="ordma") == []
+
+    def test_span_dict_round_trip(self):
+        sim = Simulator()
+        tracer = Tracer.attach(sim)
+
+        def proc():
+            span = tracer.start_span("c", "read", nbytes=4096)
+            yield sim.timeout(5.0)
+            span.mark("s", "net.request", proc="read")
+            yield sim.timeout(5.0)
+            span.path = "rdma"
+            span.finish("c")
+            return span
+
+        span = sim.run_process(proc())
+        clone = Span.from_dict(json.loads(json.dumps(span.as_dict())))
+        assert clone.rid == span.rid and clone.path == "rdma"
+        assert clone.duration == pytest.approx(span.duration)
+        assert clone.breakdown() == span.breakdown()
+
+    def test_dump_load_round_trip_with_spans(self, tmp_path):
+        sim = Simulator()
+        tracer = Tracer.attach(sim)
+
+        def proc():
+            tracer.emit("nic", "rdma-get", bytes=4096)
+            span = tracer.start_span("c", "read")
+            yield sim.timeout(12.0)
+            span.finish("c")
+
+        sim.run_process(proc())
+        path = tmp_path / "t.jsonl"
+        assert tracer.dump_jsonl(str(path)) == 2  # 1 event + 1 span
+        dump = load_jsonl(str(path))
+        assert dump.emitted == 1 and dump.dropped == 0
+        assert dump.counts() == {"rdma-get": 1}
+        assert len(dump.finished_spans()) == 1
+        assert dump.finished_spans()[0].duration == pytest.approx(12.0)
+
+    def test_load_headerless_legacy_dump(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text('{"ts": 1.0, "component": "c", "kind": "k"}\n')
+        dump = load_jsonl(str(path))
+        assert dump.emitted == 1 and len(dump.events) == 1
+
+    def test_clear_drops_spans(self):
+        sim = Simulator()
+        tracer = Tracer.attach(sim)
+        tracer.start_span("c", "read").finish("c")
+        tracer.clear()
+        assert len(tracer.spans) == 0
+        assert tracer.spans_started == 1  # lifetime counter survives
 
 
 class TestInstrumentation:
@@ -140,3 +270,50 @@ class TestInstrumentation:
         assert sim.tracer is tracer
         Tracer.detach(sim)
         assert sim.tracer is None
+
+    def test_cache_link_disk_and_dispatch_emit_sites(self):
+        cluster = Cluster(system="odafs", block_size=4 * KB,
+                          client_kwargs={"cache_blocks": 2},
+                          server_cache_blocks=2)
+        # Tiny server cache: reads past the warm window hit the disk.
+        cluster.create_file("f", 16 * KB, warm=False)
+        tracer = Tracer.attach(cluster.sim)
+        client = cluster.clients[0]
+
+        def proc():
+            for i in range(4):
+                yield from client.read("f", i * 4 * KB, 4 * KB)
+            # Re-read the most recent block: a client cache hit.
+            yield from client.read("f", 3 * 4 * KB, 4 * KB)
+
+        cluster.sim.run_process(proc())
+        counts = tracer.counts()
+        for kind in ("cache-hit", "cache-miss", "link-tx-start",
+                     "link-tx-end", "disk-io-start", "disk-io-complete",
+                     "srv-dispatch", "srv-reply"):
+            assert counts.get(kind, 0) > 0, f"no {kind} events"
+        assert counts["link-tx-start"] == counts["link-tx-end"]
+        assert counts["disk-io-start"] == counts["disk-io-complete"]
+        assert counts["srv-dispatch"] == counts["srv-reply"]
+
+    def test_tracing_does_not_perturb_simulation(self):
+        """Attached vs detached tracer: identical timing and results."""
+        def run(traced):
+            cluster = Cluster(system="odafs", block_size=4 * KB,
+                              client_kwargs={"cache_blocks": 2})
+            cluster.create_file("f", 16 * KB)
+            if traced:
+                Tracer.attach(cluster.sim)
+            client = cluster.clients[0]
+
+            def proc():
+                for _ in range(2):
+                    for i in range(4):
+                        yield from client.read("f", i * 4 * KB, 4 * KB)
+
+            cluster.sim.run_process(proc())
+            return (cluster.sim.now, client.stats.as_dict(),
+                    cluster.server.stats.as_dict(),
+                    cluster.metrics.get("server.cpu").busy_us)
+
+        assert run(traced=False) == run(traced=True)
