@@ -52,4 +52,7 @@ def __getattr__(name):
     if name == "Cluster":
         from .cluster import Cluster
         return Cluster
+    if name in ("Injector", "FaultSchedule"):
+        from . import faults
+        return getattr(faults, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -24,7 +24,7 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster import SYSTEMS, Cluster
-from ..params import KB, default_params
+from ..params import KB, Params, default_params
 from ..sim import LatencyStats, Span, Tracer, load_jsonl
 
 #: Order in which data paths are reported.
@@ -39,7 +39,8 @@ _WATERFALL_WIDTH = 44
 
 def run_workload(system: str = "odafs", blocks: int = 64,
                  block_kb: int = 4, passes: int = 2,
-                 fault_blocks: int = 4) -> Dict[str, Any]:
+                 fault_blocks: int = 4,
+                 params: Optional[Params] = None) -> Dict[str, Any]:
     """Run the Table 3-style small-I/O microbenchmark with tracing on.
 
     A file warm in the server cache is read ``passes`` times in
@@ -54,7 +55,8 @@ def run_workload(system: str = "odafs", blocks: int = 64,
     client_kwargs: Dict[str, Any] = {}
     if system in ("dafs", "odafs"):
         client_kwargs = {"cache_blocks": 8, "rpc_read_mode": "direct"}
-    cluster = Cluster(default_params(), system=system, block_size=block,
+    cluster = Cluster(params or default_params(), system=system,
+                      block_size=block,
                       server_cache_blocks=blocks + 8,
                       client_kwargs=client_kwargs)
     cluster.create_file("micro", blocks * block)
@@ -161,17 +163,47 @@ def render_stage_tables(
     return "\n".join(lines)
 
 
+#: Event kinds that belong on the fault/recovery timeline: injected
+#: faults ('fault', from repro.faults adapters) interleaved with the
+#: resilience machinery's reactions to them.
+FAULT_TIMELINE_KINDS = ("ordma-fault", "fault", "rpc-retransmit",
+                        "rpc-timeout", "rdma-timeout")
+
+
+def fault_timeline_events(events) -> List:
+    """Chronological injected-fault and recovery events."""
+    return [ev for ev in events if ev.kind in FAULT_TIMELINE_KINDS]
+
+
 def render_fault_timeline(events) -> str:
-    """Chronological list of ORDMA faults with initiator and reason."""
-    faults = [ev for ev in events if ev.kind == "ordma-fault"]
+    """Fault -> retry -> recovery timeline: ORDMA faults, injected
+    faults, and the RPC/RDMA timeout and retransmission reactions."""
+    faults = fault_timeline_events(events)
     if not faults:
-        return "  (no ORDMA faults)"
+        return "  (no faults)"
     lines = []
     for ev in faults:
         detail = ev.detail
+        if ev.kind == "ordma-fault":
+            what = (f"initiator={detail.get('initiator')} "
+                    f"reason={detail.get('reason')!r}")
+        elif ev.kind == "fault":
+            rest = {k: v for k, v in detail.items()
+                    if k not in ("cls", "mode")}
+            what = (f"injected {detail.get('cls')}.{detail.get('mode')}"
+                    + (f" {rest}" if rest else ""))
+        elif ev.kind == "rpc-retransmit":
+            what = (f"retransmit xid={detail.get('xid')} "
+                    f"attempt={detail.get('attempt')} "
+                    f"backoff={detail.get('backoff_us')}us")
+        elif ev.kind == "rpc-timeout":
+            what = (f"rpc gave up xid={detail.get('xid')} "
+                    f"after {detail.get('attempts')} attempts")
+        else:  # rdma-timeout
+            what = (f"rdma {detail.get('op')} timeout "
+                    f"msg={detail.get('msg')}")
         lines.append(f"  [{ev.ts:12.2f}us] {ev.component:<10} "
-                     f"initiator={detail.get('initiator')} "
-                     f"reason={detail.get('reason')!r}")
+                     f"{ev.kind:<14} {what}")
     return "\n".join(lines)
 
 
@@ -240,9 +272,13 @@ def main(argv=None) -> int:
                         help="how many span waterfalls to print")
     parser.add_argument("--quick", action="store_true",
                         help="smaller workload (16 blocks, 1+1 passes)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master seed for the live workload's RNGs")
     parser.add_argument("--json", action="store_true",
                         help="emit the analysis as JSON")
     args = parser.parse_args(argv)
+    params = (default_params().copy(seed=args.seed)
+              if args.seed is not None else None)
 
     meter = None
     cluster = None
@@ -258,7 +294,8 @@ def main(argv=None) -> int:
     else:
         blocks = 16 if args.quick else args.blocks
         live = run_workload(system=args.system, blocks=blocks,
-                            block_kb=args.block_kb, passes=args.passes)
+                            block_kb=args.block_kb, passes=args.passes,
+                            params=params)
         cluster = live["cluster"]
         tracer = live["tracer"]
         meter = live["meter"]
@@ -280,8 +317,7 @@ def main(argv=None) -> int:
             "stages": {path: {stage: stats.summary()
                               for stage, stats in stages.items()}
                        for path, stages in tables.items()},
-            "faults": [ev.as_dict() for ev in events
-                       if ev.kind == "ordma-fault"],
+            "faults": [ev.as_dict() for ev in fault_timeline_events(events)],
         }
         if meter is not None:
             out["meter_mean_us"] = meter.mean

@@ -55,7 +55,10 @@ class Cluster:
         self.system = system
         self.sim = Simulator()
         self.rand = RandomStreams(self.params.seed)
-        self.switch = Switch(self.sim, self.params.net)
+        # The switch draws loss decisions from a named stream of the
+        # master seed (not a hardcoded one) so --seed reaches every RNG.
+        self.switch = Switch(self.sim, self.params.net,
+                             rng=self.rand.stream("net.loss"))
         self.block_size = block_size or self.params.storage.server_cache_block
 
         self.server_host = Host(self.sim, self.params, self.switch, "server",

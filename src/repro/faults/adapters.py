@@ -1,0 +1,225 @@
+"""Per-layer fault state consulted by the hardware models.
+
+Each adapter holds the knobs for one component class and answers one
+cheap question on that component's hot path ("does this frame survive?",
+"does this doorbell stall?"). The components themselves only carry a
+``faults`` attribute that defaults to ``None`` — the adapters are
+installed lazily by :class:`repro.faults.Injector`, so an un-injected
+simulation never pays for (or is perturbed by) any of this.
+
+Two determinism rules hold throughout:
+
+* an adapter draws from its RNG **only when the matching probability is
+  non-zero** (or a one-shot trap is set), so attaching an all-zero
+  adapter is bit-identical to no adapter;
+* every injected fault is accounted exactly once, through :meth:`_note`,
+  which bumps the shared counter *and* emits a ``fault`` trace event —
+  counters and tracer can never diverge.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set, Tuple
+
+from ..sim import Counter, Simulator, trace_emit
+
+
+class LayerFaults:
+    """Common plumbing: RNG, shared counters, trace emission."""
+
+    #: Counter prefix and the ``cls`` field of emitted fault events.
+    layer = "base"
+
+    def __init__(self, sim: Simulator, rng: random.Random,
+                 stats: Optional[Counter] = None, component: str = ""):
+        self.sim = sim
+        self.rng = rng
+        self.stats = stats if stats is not None else Counter()
+        self.component = component or self.layer
+
+    def _note(self, mode: str, **detail) -> None:
+        """Account one injected fault: counter + ``fault`` trace event."""
+        self.stats.incr(f"{self.layer}.{mode}")
+        trace_emit(self.sim, self.component, "fault", cls=self.layer,
+                   mode=mode, **detail)
+
+
+class LinkFaults(LayerFaults):
+    """Switch-level faults: frame drop, corruption, delay, partition.
+
+    Corrupted frames fail the receiver's CRC and are dropped there, so
+    drop and corruption differ only in accounting. ``drop_next`` /
+    ``delay_next`` are one-shot traps for targeted tests: they fire on
+    the next frame(s) regardless of the probabilities.
+    """
+
+    layer = "link"
+
+    def __init__(self, sim: Simulator, rng: random.Random,
+                 stats: Optional[Counter] = None, component: str = "switch"):
+        super().__init__(sim, rng, stats, component)
+        self.drop_p = 0.0
+        self.corrupt_p = 0.0
+        self.delay_p = 0.0
+        self.delay_us = 0.0
+        self.drop_next = 0
+        self.delay_next = 0
+        self._partitioned: Set[str] = set()
+
+    def partition(self, *hosts: str) -> None:
+        """Cut the given hosts off the fabric until :meth:`heal`."""
+        self._partitioned.update(hosts)
+        self._note("partition", hosts=tuple(sorted(hosts)))
+
+    def heal(self, *hosts: str) -> None:
+        """Reconnect hosts (all currently partitioned ones if none given)."""
+        victims = tuple(sorted(hosts or self._partitioned))
+        self._partitioned.difference_update(victims)
+        self._note("heal", hosts=victims)
+
+    def frame_fate(self, src: str, dst: str) -> Tuple[str, float]:
+        """Decide one frame's fate: ('ok'|'drop'|'corrupt', extra delay us)."""
+        if self._partitioned and (src in self._partitioned
+                                  or dst in self._partitioned):
+            self._note("partition_drop", src=src, dst=dst)
+            return "drop", 0.0
+        if self.drop_next > 0:
+            self.drop_next -= 1
+            self._note("drop", src=src, dst=dst, forced=True)
+            return "drop", 0.0
+        if self.drop_p > 0.0 and self.rng.random() < self.drop_p:
+            self._note("drop", src=src, dst=dst)
+            return "drop", 0.0
+        if self.corrupt_p > 0.0 and self.rng.random() < self.corrupt_p:
+            self._note("corrupt", src=src, dst=dst)
+            return "corrupt", 0.0
+        if self.delay_next > 0:
+            self.delay_next -= 1
+            self._note("delay", src=src, dst=dst, us=self.delay_us,
+                       forced=True)
+            return "ok", self.delay_us
+        if self.delay_p > 0.0 and self.rng.random() < self.delay_p:
+            self._note("delay", src=src, dst=dst, us=self.delay_us)
+            return "ok", self.delay_us
+        return "ok", 0.0
+
+
+class NicFaults(LayerFaults):
+    """NIC faults: doorbell stalls and forced ORDMA rejections.
+
+    A doorbell stall models firmware backpressure on the host-facing
+    command path; an ORDMA rejection makes the *target* NIC fault an
+    optimistic access it would otherwise have served (an "exception
+    storm" when driven in bursts), exercising the client's RPC fallback
+    at arbitrary rates without disturbing the server cache.
+    """
+
+    layer = "nic"
+
+    def __init__(self, sim: Simulator, rng: random.Random,
+                 stats: Optional[Counter] = None, component: str = "nic"):
+        super().__init__(sim, rng, stats, component)
+        self.stall_p = 0.0
+        self.stall_us = 0.0
+        self.stall_next = 0
+        self.ordma_reject_p = 0.0
+        self.ordma_reject_next = 0
+
+    def doorbell_delay(self) -> float:
+        """Extra stall (us) for the doorbell being rung now, or 0.0."""
+        if self.stall_next > 0:
+            self.stall_next -= 1
+            self._note("doorbell_stall", us=self.stall_us, forced=True)
+            return self.stall_us
+        if self.stall_p > 0.0 and self.rng.random() < self.stall_p:
+            self._note("doorbell_stall", us=self.stall_us)
+            return self.stall_us
+        return 0.0
+
+    def ordma_reject(self) -> bool:
+        """Should the target NIC fault this optimistic access?"""
+        if self.ordma_reject_next > 0:
+            self.ordma_reject_next -= 1
+            self._note("ordma_reject", forced=True)
+            return True
+        if self.ordma_reject_p > 0.0 and self.rng.random() < self.ordma_reject_p:
+            self._note("ordma_reject")
+            return True
+        return False
+
+
+class DiskFaults(LayerFaults):
+    """Disk faults: transient I/O errors and positioning-latency spikes.
+
+    Errors are transient (a reread succeeds with probability
+    ``1 - error_p``); the disk layer retries internally up to
+    ``max_retries`` times before surfacing ``DiskError`` to the file
+    server, each retry paying the full access time again.
+    """
+
+    layer = "disk"
+
+    def __init__(self, sim: Simulator, rng: random.Random,
+                 stats: Optional[Counter] = None, component: str = "disk"):
+        super().__init__(sim, rng, stats, component)
+        self.error_p = 0.0
+        self.error_next = 0
+        self.delay_p = 0.0
+        self.delay_us = 0.0
+        self.max_retries = 8
+
+    def io_plan(self) -> Tuple[bool, float]:
+        """Plan one access: (fails?, extra latency us)."""
+        if self.error_next > 0:
+            self.error_next -= 1
+            self._note("io_error", forced=True)
+            return True, 0.0
+        if self.error_p > 0.0 and self.rng.random() < self.error_p:
+            self._note("io_error")
+            return True, 0.0
+        if self.delay_p > 0.0 and self.rng.random() < self.delay_p:
+            self._note("delay", us=self.delay_us)
+            return False, self.delay_us
+        return False, 0.0
+
+
+class ServerFaults(LayerFaults):
+    """Server process crash/restart, consulted by the RPC dispatch loop.
+
+    A crash pauses the RPC server for ``downtime_us`` (requests arriving
+    meanwhile are silently dropped — clients recover via retransmission)
+    and fires the server's ``on_crash`` callback, which the injector
+    wires to clear the file cache: a restarted server comes back cold,
+    so every exported ORDMA reference held by clients is now stale.
+    """
+
+    layer = "server"
+
+    def __init__(self, sim: Simulator, rng: random.Random,
+                 stats: Optional[Counter] = None, component: str = "server"):
+        super().__init__(sim, rng, stats, component)
+        self.crash_p = 0.0
+        self.crash_next = 0
+        self.downtime_us = 2000.0
+
+    def crash_now(self, rpc_server,
+                  downtime_us: Optional[float] = None) -> bool:
+        """Crash ``rpc_server`` immediately (no-op if already down)."""
+        downtime = self.downtime_us if downtime_us is None else downtime_us
+        if not rpc_server.crash(downtime):
+            return False
+        self._note("crash", downtime_us=downtime)
+        return True
+
+    def maybe_crash(self, rpc_server) -> bool:
+        """Roll the per-request crash dice for an arriving request."""
+        crash = False
+        if self.crash_next > 0:
+            self.crash_next -= 1
+            crash = True
+        elif self.crash_p > 0.0 and self.rng.random() < self.crash_p:
+            crash = True
+        if not crash:
+            return False
+        return self.crash_now(rpc_server)

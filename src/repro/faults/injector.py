@@ -1,0 +1,245 @@
+"""The injector: wires fault adapters into a cluster and arms schedules.
+
+Usage::
+
+    cluster = Cluster(params, system="odafs")
+    inj = Injector(cluster)
+    inj.enable_resilience()            # RPC retry + RDMA timeouts
+    inj.link_loss(0.01)                # 1% frame drop, steady state
+    inj.schedule_server_crash(FaultSchedule.at([50_000.0]))
+    inj.arm()
+    cluster.run()
+
+All randomness flows through named :class:`repro.sim.RandomStreams`
+streams derived from the cluster's master seed (``faults.link``,
+``faults.nic.client0``, …), so a campaign is a pure function of its
+seed. The injector registers one shared fault counter under ``faults``
+in the cluster's metrics registry; every injected fault also lands in
+the tracer (kind ``fault``) when one is attached.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Generator, List, Optional, Tuple
+
+from ..proto.rpc import RetryPolicy
+from ..sim import Counter
+from .adapters import DiskFaults, LinkFaults, NicFaults, ServerFaults
+from .schedule import FaultSchedule
+
+#: An armed schedule: (schedule, name, on_start, on_end-or-None).
+_Armed = Tuple[FaultSchedule, str, Callable[[], None],
+               Optional[Callable[[], None]]]
+
+
+class Injector:
+    """Installs fault adapters on one cluster and drives schedules."""
+
+    def __init__(self, cluster, stream_prefix: str = "faults"):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.stream_prefix = stream_prefix
+        #: Shared fault counter, one namespace per layer (link.drop, …).
+        self.stats = Counter()
+        self._schedules: List[_Armed] = []
+        self._armed = False
+        if "faults" not in cluster.metrics:
+            cluster.metrics.register("faults", self.stats)
+
+    def _stream(self, name: str) -> random.Random:
+        return self.cluster.rand.stream(f"{self.stream_prefix}.{name}")
+
+    # -- adapter installation (lazy; one per component) --------------------
+
+    @property
+    def link(self) -> LinkFaults:
+        switch = self.cluster.switch
+        if switch.faults is None:
+            switch.faults = LinkFaults(self.sim, self._stream("link"),
+                                       stats=self.stats,
+                                       component=switch.name)
+        return switch.faults
+
+    def nic(self, host) -> NicFaults:
+        if host.nic.faults is None:
+            host.nic.faults = NicFaults(
+                self.sim, self._stream(f"nic.{host.name}"),
+                stats=self.stats, component=host.name)
+        return host.nic.faults
+
+    @property
+    def disk(self) -> DiskFaults:
+        disk = self.cluster.disk
+        if disk.faults is None:
+            disk.faults = DiskFaults(self.sim, self._stream("disk"),
+                                     stats=self.stats, component=disk.name)
+        return disk.faults
+
+    @property
+    def server(self) -> ServerFaults:
+        rpc = self.cluster.server.rpc
+        if rpc.faults is None:
+            rpc.faults = ServerFaults(
+                self.sim, self._stream("server"), stats=self.stats,
+                component=self.cluster.server_host.name)
+            rpc.on_crash = self._server_state_loss
+        return rpc.faults
+
+    def _all_hosts(self):
+        return [self.cluster.server_host] + list(self.cluster.client_hosts)
+
+    def _server_state_loss(self) -> None:
+        """Crash consequence: the file cache does not survive a restart.
+
+        Dropping the blocks deregisters their TPT segments, so every
+        ORDMA reference clients still hold is now stale and will fault —
+        the recovery story of Section 4.1 at whole-cache scale.
+        """
+        lost = self.cluster.cache.clear()
+        self.stats.incr("server.cache_blocks_lost", lost)
+
+    # -- steady-state rate configuration ----------------------------------
+
+    def link_loss(self, p: float) -> None:
+        """Drop each forwarded frame with probability ``p``."""
+        self.link.drop_p = p
+
+    def link_corruption(self, p: float) -> None:
+        """Corrupt (CRC-fail at the receiver) frames with probability ``p``."""
+        self.link.corrupt_p = p
+
+    def link_delay(self, p: float, spike_us: float) -> None:
+        """Add a ``spike_us`` forwarding delay with probability ``p``."""
+        self.link.delay_p = p
+        self.link.delay_us = spike_us
+
+    def partition(self, *hosts: str) -> None:
+        self.link.partition(*hosts)
+
+    def heal(self, *hosts: str) -> None:
+        self.link.heal(*hosts)
+
+    def nic_doorbell_stalls(self, p: float, stall_us: float,
+                            hosts=None) -> None:
+        """Stall doorbell rings with probability ``p`` on ``hosts`` (all)."""
+        for host in hosts if hosts is not None else self._all_hosts():
+            nf = self.nic(host)
+            nf.stall_p = p
+            nf.stall_us = stall_us
+
+    def ordma_rejects(self, p: float) -> None:
+        """Make the server NIC fault optimistic accesses at rate ``p``."""
+        self.nic(self.cluster.server_host).ordma_reject_p = p
+
+    def disk_errors(self, p: float,
+                    max_retries: Optional[int] = None) -> None:
+        """Fail disk accesses with probability ``p`` (transient)."""
+        self.disk.error_p = p
+        if max_retries is not None:
+            self.disk.max_retries = max_retries
+
+    def disk_delays(self, p: float, spike_us: float) -> None:
+        """Add a ``spike_us`` positioning spike with probability ``p``."""
+        self.disk.delay_p = p
+        self.disk.delay_us = spike_us
+
+    def server_crashes(self, p: float,
+                       downtime_us: Optional[float] = None) -> None:
+        """Crash the server with probability ``p`` per arriving request."""
+        self.server.crash_p = p
+        if downtime_us is not None:
+            self.server.downtime_us = downtime_us
+
+    # -- scheduled faults ---------------------------------------------------
+
+    def schedule(self, sched: FaultSchedule, name: str,
+                 on_start: Callable[[], None],
+                 on_end: Optional[Callable[[], None]] = None) -> None:
+        """Bind a schedule to callbacks; runs once :meth:`arm` is called.
+
+        ``on_end`` (if given) fires ``duration_us`` after each
+        ``on_start`` — use schedules with a positive duration for
+        window-style faults like partitions.
+        """
+        if self._armed:
+            raise RuntimeError("injector already armed")
+        self._schedules.append((sched, name, on_start, on_end))
+
+    def schedule_partition(self, sched: FaultSchedule,
+                           *hosts: str) -> None:
+        """Partition ``hosts`` for each schedule window (needs duration)."""
+        if sched.duration_us <= 0:
+            raise ValueError("partition schedules need a positive duration")
+        link = self.link
+        self.schedule(sched, "partition",
+                      lambda: link.partition(*hosts),
+                      lambda: link.heal(*hosts))
+
+    def schedule_server_crash(self, sched: FaultSchedule,
+                              downtime_us: Optional[float] = None) -> None:
+        """Crash the server at each fire time (restart after downtime)."""
+        server = self.server
+        rpc = self.cluster.server.rpc
+        self.schedule(sched, "server-crash",
+                      lambda: server.crash_now(rpc, downtime_us))
+
+    def schedule_ordma_storm(self, sched: FaultSchedule,
+                             count: int = 8) -> None:
+        """At each fire, fault the next ``count`` optimistic accesses."""
+        nf = self.nic(self.cluster.server_host)
+
+        def storm() -> None:
+            nf.ordma_reject_next += count
+        self.schedule(sched, "ordma-storm", storm)
+
+    def _run_schedule(self, sched: FaultSchedule, name: str,
+                      on_start: Callable[[], None],
+                      on_end: Optional[Callable[[], None]]) -> Generator:
+        rng = self._stream(f"schedule.{name}")
+        for when, duration in sched.fires(rng):
+            if when > self.sim.now:
+                yield self.sim.timeout(when - self.sim.now)
+            on_start()
+            if on_end is not None and duration > 0:
+                yield self.sim.timeout(duration)
+                on_end()
+
+    def arm(self) -> None:
+        """Spawn one driver process per bound schedule."""
+        self._armed = True
+        for sched, name, on_start, on_end in self._schedules:
+            self.sim.process(
+                self._run_schedule(sched, name, on_start, on_end),
+                name=f"faults.{name}")
+
+    # -- resilience ---------------------------------------------------------
+
+    def enable_resilience(self, timeout_us: float = 4000.0,
+                          max_retries: int = 10,
+                          backoff_base_us: float = 200.0,
+                          backoff_factor: float = 2.0,
+                          backoff_cap_us: float = 4000.0,
+                          jitter: float = 0.25,
+                          rdma_timeout_us: float = 3000.0,
+                          rdma_put_retries: int = 10) -> None:
+        """Turn on the recovery machinery injected faults rely on.
+
+        Gives every client an RPC :class:`RetryPolicy` (timeout, capped
+        exponential backoff with seeded jitter, retransmission under the
+        same xid), puts an initiator-side timeout on all RDMA operations
+        so dropped frames surface as recoverable faults instead of
+        hangs, and lets the server retransmit its server-initiated RDMA
+        writes. Off by default because the extra timer events perturb
+        event ordering relative to an un-injected run.
+        """
+        for i, client in enumerate(self.cluster.clients):
+            client.rpc.retry = RetryPolicy(
+                timeout_us=timeout_us, max_retries=max_retries,
+                backoff_base_us=backoff_base_us,
+                backoff_factor=backoff_factor,
+                backoff_cap_us=backoff_cap_us, jitter=jitter,
+                rng=self._stream(f"retry.client{i}"))
+            client.host.nic.rdma_timeout_us = rdma_timeout_us
+        self.cluster.server_host.nic.rdma_timeout_us = rdma_timeout_us
+        self.cluster.server.rdma_put_retries = rdma_put_retries

@@ -14,6 +14,10 @@ from ..params import StorageParams
 from ..sim import Counter, Resource, Simulator, trace_emit
 
 
+class DiskError(RuntimeError):
+    """An I/O failed even after the driver's internal retries."""
+
+
 class Disk:
     """One disk: fixed average positioning latency plus transfer time."""
 
@@ -24,6 +28,9 @@ class Disk:
         self.name = name
         self._spindle = Resource(sim, capacity=1, name=name)
         self.stats = Counter()
+        #: Fault-injection state (repro.faults.DiskFaults); ``None`` means
+        #: a perfect disk and the access path pays no checks.
+        self.faults = None
 
     def read(self, nbytes: int) -> Generator:
         """Read ``nbytes`` from a random position."""
@@ -39,13 +46,31 @@ class Disk:
         if self.sim.tracer is not None:
             trace_emit(self.sim, self.name, "disk-io-start", op=counter,
                        bytes=nbytes)
-        req = self._spindle.request()
-        yield req
-        try:
-            yield self.sim.timeout(self.params.disk_latency_us
-                                   + nbytes / self.params.disk_bw)
-        finally:
-            self._spindle.release(req)
+        attempts = 0
+        while True:
+            failed = False
+            extra_us = 0.0
+            if self.faults is not None:
+                failed, extra_us = self.faults.io_plan()
+            req = self._spindle.request()
+            yield req
+            try:
+                yield self.sim.timeout(self.params.disk_latency_us
+                                       + nbytes / self.params.disk_bw)
+                if extra_us > 0.0:
+                    yield self.sim.timeout(extra_us)
+            finally:
+                self._spindle.release(req)
+            if not failed:
+                break
+            # Transient error: the driver retries the whole access, each
+            # attempt paying full positioning + transfer time again.
+            attempts += 1
+            self.stats.incr("io_errors")
+            if attempts > self.faults.max_retries:
+                raise DiskError(
+                    f"{self.name}: {counter} I/O of {nbytes} bytes failed "
+                    f"after {attempts} attempts")
         self.stats.incr(counter)
         self.stats.incr("bytes", nbytes)
         if self.sim.tracer is not None:

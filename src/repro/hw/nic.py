@@ -122,6 +122,23 @@ class NIC:
         self._eth_handler: Optional[Callable[[Message], None]] = None
         #: RDDP-RPC tag table: RPC xid -> target Buffer (Section 3.2)
         self._rddp_tags: Dict[int, Buffer] = {}
+        #: Fault-injection state (repro.faults.NicFaults); ``None`` means
+        #: healthy firmware and no per-operation checks.
+        self.faults = None
+        #: Initiator-side RDMA recovery timeout; ``None`` (the default)
+        #: waits forever, exact for a lossless fabric. Fault-injection
+        #: runs set it so lost frames surface as recoverable
+        #: :class:`RemoteAccessFault` (TIMEOUT) instead of hangs.
+        self.rdma_timeout_us: Optional[float] = None
+
+    def _doorbell(self) -> Generator:
+        """Ring a doorbell: the PIO cost plus any injected firmware stall."""
+        yield from self.cpu.execute(self.params.nic.doorbell_us,
+                                    category="doorbell")
+        if self.faults is not None:
+            stall_us = self.faults.doorbell_delay()
+            if stall_us > 0.0:
+                yield self.sim.timeout(stall_us)
 
     # ------------------------------------------------------------------
     # GM messaging (host-facing)
@@ -146,8 +163,7 @@ class NIC:
                 meta: Optional[Dict[str, Any]] = None) -> Generator:
         """Hand a send descriptor to the NIC. Returns when the doorbell is
         rung; transmission proceeds asynchronously."""
-        yield from self.cpu.execute(self.params.nic.doorbell_us,
-                                    category="doorbell")
+        yield from self._doorbell()
         msg = Message(MsgKind.GM_SEND, self.name, dst, nbytes, port=port,
                       data=data, meta=meta or {})
         self.stats.incr("gm_send")
@@ -167,8 +183,7 @@ class NIC:
                  meta: Optional[Dict[str, Any]] = None,
                  port: int = 0) -> Generator:
         """Queue an Ethernet-emulation datagram for transmission."""
-        yield from self.cpu.execute(self.params.nic.doorbell_us,
-                                    category="doorbell")
+        yield from self._doorbell()
         msg = Message(MsgKind.ETH, self.name, dst, nbytes, port=port,
                       data=data, meta=meta or {})
         self.stats.incr("eth_send")
@@ -183,8 +198,7 @@ class NIC:
         """Associate an RPC transaction number with a target buffer so the
         NIC can header-split the matching response (per-I/O NIC
         interaction — one doorbell)."""
-        yield from self.cpu.execute(self.params.nic.doorbell_us,
-                                    category="doorbell")
+        yield from self._doorbell()
         self._rddp_tags[xid] = buffer
 
     def rddp_cancel_tag(self, xid: int) -> None:
@@ -215,14 +229,16 @@ class NIC:
         trace_emit(self.sim, self.name, "rdma-put", dst=dst,
                    addr=remote_addr, bytes=nbytes, msg=msg.msg_id,
                    optimistic=optimistic)
-        yield from self.cpu.execute(self.params.nic.doorbell_us,
-                                    category="doorbell")
+        yield from self._doorbell()
         if span is not None:
             span.mark(self.name, "nic.doorbell", op="rdma-put",
                       bytes=nbytes)
         self.sim.process(self._tx(msg, from_host=True, fetch_descriptor=True),
                          name=f"{self.name}.put")
-        result = yield done
+        if self.rdma_timeout_us is None:
+            result = yield done
+        else:
+            result = yield from self._await_rdma(msg.msg_id, done, "put")
         if span is not None:
             span.mark(self.name, "rdma.ack")
         return result
@@ -247,15 +263,37 @@ class NIC:
         trace_emit(self.sim, self.name, "rdma-get", dst=dst,
                    addr=remote_addr, bytes=nbytes, msg=msg.msg_id,
                    optimistic=optimistic)
-        yield from self.cpu.execute(self.params.nic.doorbell_us,
-                                    category="doorbell")
+        yield from self._doorbell()
         if span is not None:
             span.mark(self.name, "nic.doorbell", op="rdma-get",
                       bytes=nbytes)
         self.sim.process(self._tx(msg, from_host=True, fetch_descriptor=True),
                          name=f"{self.name}.get")
-        data = yield done
+        if self.rdma_timeout_us is None:
+            data = yield done
+        else:
+            data = yield from self._await_rdma(msg.msg_id, done, "get")
         return data
+
+    def _await_rdma(self, msg_id: int, done: Event, op: str) -> Generator:
+        """Completion wait with a recovery deadline (fault injection).
+
+        A remote NIC fault still raises at the yield point; a lost
+        request or response instead surfaces as a TIMEOUT-reason
+        :class:`RemoteAccessFault` once the deadline passes, after which
+        late completions for this operation are ignored.
+        """
+        deadline = self.sim.timeout(self.rdma_timeout_us)
+        yield self.sim.any_of([done, deadline])
+        if not done.triggered:
+            self._pending_rdma.pop(msg_id, None)
+            self.stats.incr("rdma_timeout")
+            trace_emit(self.sim, self.name, "rdma-timeout", op=op,
+                       msg=msg_id)
+            raise RemoteAccessFault(
+                FaultReason.TIMEOUT, f"{op} msg={msg_id} unacknowledged "
+                f"after {self.rdma_timeout_us}us")
+        return done.value
 
     # ------------------------------------------------------------------
     # Transmit engine (NIC context)
@@ -435,7 +473,10 @@ class NIC:
         if first:
             fault = None
             if meta.get("optimistic"):
-                fault = self._validate(msg, msg.size)
+                if self.faults is not None and self.faults.ordma_reject():
+                    fault = FaultReason.INJECTED
+                if fault is None:
+                    fault = self._validate(msg, msg.size)
                 if fault is None and self.tpt.use_capabilities:
                     yield self.sim.timeout(
                         self.params.nic.capability_verify_us)
@@ -482,7 +523,11 @@ class NIC:
         nbytes = meta["nbytes"]
         optimistic = meta.get("optimistic", False)
         if optimistic:
-            fault = self._validate(msg, nbytes)
+            fault = None
+            if self.faults is not None and self.faults.ordma_reject():
+                fault = FaultReason.INJECTED
+            if fault is None:
+                fault = self._validate(msg, nbytes)
             if fault is None and self.tpt.use_capabilities:
                 yield self.sim.timeout(self.params.nic.capability_verify_us)
             if fault is not None:

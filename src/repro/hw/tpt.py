@@ -33,6 +33,10 @@ class FaultReason(enum.Enum):
     BAD_CAPABILITY = "capability check failed"
     REVOKED = "segment access revoked"
     OUT_OF_BOUNDS = "access outside segment"
+    #: Fault-injection reasons: a forced NIC-side rejection, and an
+    #: initiator-side recovery timeout (lost request or response).
+    INJECTED = "injected fault"
+    TIMEOUT = "initiator timeout"
 
 
 class RemoteAccessFault(Exception):

@@ -97,6 +97,16 @@ class ODAFSClient(DAFSClient):
 
     # -- the optimistic fill path ------------------------------------------------
 
+    def _note_ordma_fault(self, key, span) -> None:
+        """The single accounting point for a recoverable ORDMA fault:
+        drops the stale reference (principle (b)) and keeps the fault
+        counter and the tracer's span marks in lockstep."""
+        self.directory.invalidate(key)
+        self.stats.incr("ordma_faults")
+        if span is not None:
+            span.path = "ordma-fallback"
+            span.mark(self.host.name, "ordma.fault")
+
     def _fill_block(self, name: str, index: int, block: CacheBlock,
                     span=None) -> Generator:
         key = (name, index)
@@ -113,11 +123,7 @@ class ODAFSClient(DAFSClient):
             except RemoteAccessFault:
                 # Stale reference: drop it and guarantee success via RPC,
                 # whose response carries a fresh reference (Section 4.2.1).
-                self.directory.invalidate(key)
-                self.stats.incr("ordma_faults")
-                if span is not None:
-                    span.path = "ordma-fallback"
-                    span.mark(self.host.name, "ordma.fault")
+                self._note_ordma_fault(key, span)
             else:
                 self.cache.fill(block, data)
                 yield from self.cpu.execute(self.proto.ordma_dir_op_us,
@@ -159,11 +165,7 @@ class ODAFSClient(DAFSClient):
                 # by the metadata RPC below (version bump).
                 yield from self.ordma.write(ref, None, span=span)
             except RemoteAccessFault:
-                self.directory.invalidate(key)
-                self.stats.incr("ordma_faults")
-                if span is not None:
-                    span.path = "ordma-fallback"
-                    span.mark(self.host.name, "ordma.fault")
+                self._note_ordma_fault(key, span)
             else:
                 # Metadata still needs the server CPU: a payload-free RPC.
                 if span is not None:

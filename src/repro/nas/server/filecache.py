@@ -111,6 +111,18 @@ class ServerFileCache:
         block.buffer.space.free(block.buffer)
         self.stats.incr("evictions")
 
+    def clear(self) -> int:
+        """Drop every cached block at once — a crashed server restarts
+        cold, and each export revocation leaves clients holding stale
+        references that fault on next use. Returns blocks lost."""
+        keys = list(self._blocks)
+        for key in keys:
+            self._policy.remove(key)
+            self._drop(key)
+        if keys:
+            self.stats.incr("clears")
+        return len(keys)
+
     def invalidate(self, key: BlockKey) -> bool:
         """Explicitly drop one block (e.g. VM pressure, write-back)."""
         if key not in self._blocks:

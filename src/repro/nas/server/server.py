@@ -14,6 +14,7 @@ from ...fs.disk import Disk
 from ...fs.files import FileSystem
 from ...hw.host import Host
 from ...hw.nic import NotifyMode
+from ...hw.tpt import RemoteAccessFault
 from ...proto.messaging import GMEndpoint
 from ...proto.rpc import RPC_HEADER_BYTES, RPCReply, RPCRequest, RPCServer
 from ...proto.udp import UDPStack
@@ -44,6 +45,10 @@ class BaseFileServer:
         self.delegations = DelegationTable()
         self.locks = LockTable(host.sim)
         self.stats = Counter()
+        #: Retransmission budget for server-initiated RDMA writes when
+        #: fault injection can time them out (0 = fail fast, the benign
+        #: default; the injector's resilience layer raises it).
+        self.rdma_put_retries = 0
         self.rpc = RPCServer(host, transport, name=name)
         for proc, handler in [
             ("open", self._h_open), ("close", self._h_close),
@@ -108,6 +113,33 @@ class BaseFileServer:
     def _rdma_completion(self) -> Generator:
         """Host-side handling of a local RDMA completion event."""
         yield from self.host.cpu.poll()
+
+    def _rdma_put_resilient(self, dst: str, addr: int, nbytes: int,
+                            data: Any, capability, span=None) -> Generator:
+        """Server-initiated RDMA write with bounded retransmission.
+
+        The target is the client's plain registered buffer, so the only
+        recoverable failure mode is an injected loss surfacing as an
+        initiator timeout; retrying re-sends the whole transfer. Without
+        this, one lost ack would kill the serving process and deadlock
+        the client (its retransmissions would hit the in-progress entry
+        of the duplicate request cache forever).
+        """
+        attempt = 0
+        while True:
+            try:
+                yield from self.host.nic.rdma_put(
+                    dst, addr, nbytes, data=data, capability=capability,
+                    span=span)
+                return
+            except RemoteAccessFault:
+                attempt += 1
+                if attempt > self.rdma_put_retries:
+                    raise
+                self.stats.incr("rdma_put_retries")
+                if span is not None:
+                    span.mark(self.host.name, "server.rdma-retry",
+                              attempt=attempt)
 
     # -- handlers -------------------------------------------------------------
 
@@ -212,9 +244,9 @@ class BaseFileServer:
         self.stats.incr("read_bytes", nbytes)
         if mode == "direct":
             yield from cpu.execute(proto.rdma_issue_us, category="rdma")
-            yield from self.host.nic.rdma_put(
-                request.client, args["client_addr"], nbytes, data=payload,
-                capability=args.get("client_cap"), span=span)
+            yield from self._rdma_put_resilient(
+                request.client, args["client_addr"], nbytes, payload,
+                args.get("client_cap"), span=span)
             yield from self._rdma_completion()
             if span is not None:
                 span.mark(self.host.name, "server.rdma", bytes=nbytes)
@@ -319,9 +351,9 @@ class BaseFileServer:
             payload = (blocks[0].data if len(blocks) == 1
                        else tuple(b.data for b in blocks))
             yield from cpu.execute(proto.rdma_issue_us, category="rdma")
-            yield from self.host.nic.rdma_put(
-                request.client, extent["client_addr"], nbytes, data=payload,
-                capability=extent.get("client_cap"), span=span)
+            yield from self._rdma_put_resilient(
+                request.client, extent["client_addr"], nbytes, payload,
+                extent.get("client_cap"), span=span)
             yield from self._rdma_completion()
             if span is not None:
                 span.mark(self.host.name, "server.rdma", bytes=nbytes)

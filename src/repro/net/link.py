@@ -58,6 +58,9 @@ class Switch:
         #: experiments; Myrinet itself is effectively lossless, so GM-based
         #: protocols assume zero loss and only the TCP ablations raise it.
         self._rng = rng or random.Random(0xFA57)
+        #: Fault-injection state (repro.faults.LinkFaults); ``None`` means
+        #: the fabric is healthy and the forwarding path pays no checks.
+        self.faults = None
 
     def attach(self, host_name: str) -> NetworkPort:
         if host_name in self._ports:
@@ -99,6 +102,15 @@ class Switch:
                 and self._rng.random() < self.params.loss_probability):
             self.frames_dropped += 1
             return
+        if self.faults is not None:
+            # Injected fabric faults: drop (or CRC-corrupt, equivalent at
+            # the receiver) the frame, or stretch its forwarding latency.
+            fate, extra_us = self.faults.frame_fate(src, frame.dst)
+            if fate != "ok":
+                self.frames_dropped += 1
+                return
+            if extra_us > 0.0:
+                yield self.sim.timeout(extra_us)
         yield dst_port.rx.transfer_cut_through(frame.wire_bytes)
         self.frames_forwarded += 1
         if self.sim.tracer is not None:

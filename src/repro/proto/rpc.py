@@ -13,19 +13,80 @@ sends the xid, and the NIC places the matching response payload directly.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Generator, Optional
+import random
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
 
+from ..fs.disk import DiskError
 from ..hw.host import Host
 from ..hw.memory import Buffer
+from ..hw.tpt import RemoteAccessFault
 from ..net.packet import Message
 from ..sim import Counter, Event, trace_emit
 
 #: Marshalled size of request/response headers on the wire.
 RPC_HEADER_BYTES = 128
 
+#: Completed-xid memory on the client (duplicate-reply classification)
+#: and reply memory on the server (idempotent retransmission).
+DUP_CACHE_CAPACITY = 512
+
+#: Faults a handler may legitimately surface under fault injection; the
+#: server converts them into ``rpc_error`` replies instead of dying.
+_HANDLER_FAULTS = (DiskError, RemoteAccessFault)
+
+#: Duplicate-request-cache sentinel: the original is still being served.
+_IN_PROGRESS = object()
+
 
 class RPCError(RuntimeError):
     """Protocol-level RPC failure (unknown procedure, bad reply)."""
+
+
+class RPCTimeoutError(RPCError):
+    """No reply within the retry policy's full retransmission budget."""
+
+
+class RetryPolicy:
+    """Client-side timeout/retransmission policy (fault-injection runs).
+
+    Retransmissions reuse the original xid, making them idempotent
+    against the server's duplicate request cache; backoff is capped
+    exponential with optional seeded jitter (``delay = base *
+    factor^(attempt-1)``, clamped to ``cap``, then scaled by ``1 ±
+    jitter``). Pass an ``rng`` from a :class:`repro.sim.RandomStreams`
+    stream to keep jitter reproducible.
+    """
+
+    __slots__ = ("timeout_us", "max_retries", "backoff_base_us",
+                 "backoff_factor", "backoff_cap_us", "jitter", "rng")
+
+    def __init__(self, timeout_us: float = 4000.0, max_retries: int = 8,
+                 backoff_base_us: float = 200.0,
+                 backoff_factor: float = 2.0,
+                 backoff_cap_us: float = 4000.0, jitter: float = 0.0,
+                 rng: Optional[random.Random] = None):
+        if timeout_us <= 0:
+            raise ValueError(f"timeout must be positive: {timeout_us}")
+        if max_retries < 0:
+            raise ValueError(f"negative retry budget: {max_retries}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1): {jitter}")
+        self.timeout_us = timeout_us
+        self.max_retries = max_retries
+        self.backoff_base_us = backoff_base_us
+        self.backoff_factor = backoff_factor
+        self.backoff_cap_us = backoff_cap_us
+        self.jitter = jitter
+        self.rng = rng
+
+    def backoff_us(self, attempt: int) -> float:
+        """Backoff before retransmission ``attempt`` (1-based)."""
+        delay = self.backoff_base_us * self.backoff_factor ** (attempt - 1)
+        delay = min(delay, self.backoff_cap_us)
+        if self.jitter and self.rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        return delay
 
 
 class RPCRequest:
@@ -78,6 +139,12 @@ class RPCClient:
         self.kernel = kernel
         self.stats = Counter()
         self._pending: Dict[int, Event] = {}
+        #: Retransmission policy; ``None`` (the default) waits forever,
+        #: which is exact for a lossless fabric and costs no timer events.
+        self.retry: Optional[RetryPolicy] = None
+        #: Recently completed xids, to tell a retransmission's duplicate
+        #: reply from a genuinely unknown (orphan) one.
+        self._recent: "OrderedDict[int, bool]" = OrderedDict()
         host.sim.process(self._recv_loop(), name=f"{host.name}.rpc-recv")
 
     def call(self, proc: str, args: Optional[Dict[str, Any]] = None,
@@ -128,7 +195,11 @@ class RPCClient:
         yield from self.transport.send(self.server, req_bytes, meta=meta)
         if span is not None:
             span.mark(self.host.name, "nic.tx")
-        response: Message = yield done
+        if self.retry is None:
+            response: Message = yield done
+        else:
+            response = yield from self._await_with_retry(
+                xid, done, proc, req_bytes, meta, span)
         if span is not None:
             span.mark(self.host.name, "net.reply")
         yield from cpu.execute(proto.rpc_marshal_us, category="rpc")
@@ -147,14 +218,67 @@ class RPCClient:
             raise RPCError(response.meta["rpc_error"])
         return response
 
+    def _await_with_retry(self, xid: int, done: Event, proc: str,
+                          req_bytes: int, meta: Dict[str, Any],
+                          span) -> Generator:
+        """Wait for the reply, retransmitting under the same xid.
+
+        The pending event is shared across attempts, so whichever
+        transmission's reply arrives first completes the call; the
+        server's duplicate request cache absorbs the rest. Raises
+        :class:`RPCTimeoutError` once the retry budget is exhausted.
+        """
+        policy = self.retry
+        sim = self.host.sim
+        attempt = 0
+        while True:
+            timer = sim.timeout(policy.timeout_us)
+            yield sim.any_of([done, timer])
+            if done.triggered:
+                return done.value
+            attempt += 1
+            if attempt > policy.max_retries:
+                self._pending.pop(xid, None)
+                self.stats.incr("rpc_timeouts")
+                trace_emit(sim, self.host.name, "rpc-timeout", proc=proc,
+                           xid=xid, attempts=attempt)
+                raise RPCTimeoutError(
+                    f"{proc} xid={xid}: no reply after "
+                    f"{policy.max_retries} retransmissions")
+            delay = policy.backoff_us(attempt)
+            self.stats.incr("retransmits")
+            trace_emit(sim, self.host.name, "rpc-retransmit", proc=proc,
+                       xid=xid, attempt=attempt,
+                       backoff_us=round(delay, 3))
+            if span is not None:
+                span.mark(self.host.name, "rpc.timeout", xid=xid,
+                          attempt=attempt)
+            if delay > 0.0:
+                yield sim.timeout(delay)
+                if span is not None:
+                    span.mark(self.host.name, "rpc.backoff",
+                              us=round(delay, 3))
+            yield from self.transport.send(
+                self.server, req_bytes, meta=dict(meta, rpc_retry=attempt))
+            if span is not None:
+                span.mark(self.host.name, "rpc.retransmit",
+                          attempt=attempt)
+
     def _recv_loop(self) -> Generator:
         while True:
             msg = yield from self.transport.recv()
             xid = msg.meta.get("rpc_xid")
             pending = self._pending.pop(xid, None)
             if pending is None:
-                self.stats.incr("orphan_replies")
+                # Late duplicate of a completed call vs. truly unknown.
+                if xid in self._recent:
+                    self.stats.incr("duplicate_replies")
+                else:
+                    self.stats.incr("orphan_replies")
                 continue
+            self._recent[xid] = True
+            while len(self._recent) > DUP_CACHE_CAPACITY:
+                self._recent.popitem(last=False)
             self.stats.incr("replies")
             pending.succeed(msg)
 
@@ -169,6 +293,41 @@ class RPCServer:
         self.stats = Counter()
         self._handlers: Dict[str, Handler] = {}
         self._started = False
+        #: While True (crashed), arriving requests are silently dropped.
+        self.paused = False
+        #: Duck-typed crash dice (see repro.faults.ServerFaults); ``None``
+        #: means requests are never crash-tested.
+        self.faults = None
+        #: Called once per crash, before the restart timer is set — the
+        #: injector hooks server-state loss (file cache) here.
+        self.on_crash: Optional[Callable[[], None]] = None
+        #: Duplicate request cache: (client, xid) -> reply, so client
+        #: retransmissions are idempotent. In-progress entries drop the
+        #: duplicate; completed ones replay the recorded reply (writes
+        #: must not re-execute: the version bump would change contents).
+        self._dup_cache: "OrderedDict[Tuple[str, int], Any]" = OrderedDict()
+
+    def crash(self, downtime_us: float) -> bool:
+        """Crash the server process: drop requests for ``downtime_us``.
+
+        Returns False if already down. State hooked to ``on_crash`` (the
+        file cache) is lost; the duplicate request cache is too — it
+        lived in server memory.
+        """
+        if self.paused:
+            return False
+        self.paused = True
+        self.stats.incr("crashes")
+        self._dup_cache.clear()
+        if self.on_crash is not None:
+            self.on_crash()
+        self.host.sim.call_at(self.host.sim.now + downtime_us,
+                              self._restart)
+        return True
+
+    def _restart(self) -> None:
+        self.paused = False
+        self.stats.incr("restarts")
 
     def register(self, proc: str, handler: Handler) -> None:
         if proc in self._handlers:
@@ -184,6 +343,13 @@ class RPCServer:
     def _loop(self) -> Generator:
         while True:
             msg = yield from self.transport.recv()
+            if self.faults is not None:
+                # The arriving request itself may trigger the crash; it
+                # is then dropped along with everything while down.
+                self.faults.maybe_crash(self)
+            if self.paused:
+                self.stats.incr("dropped_while_down")
+                continue
             self.host.sim.process(self._serve(msg),
                                   name=f"{self.name}.serve")
 
@@ -200,11 +366,33 @@ class RPCServer:
                    client=request.client)
         self.stats.incr(f"proc:{request.proc}")
         yield from cpu.execute(proto.rpc_marshal_us, category="rpc")
+        dup_key = (request.client, request.xid)
+        cached = self._dup_cache.get(dup_key)
+        if cached is _IN_PROGRESS:
+            # Retransmission of a request still being served: drop it;
+            # the original's reply is on its way.
+            self.stats.incr("dup_dropped")
+            return
+        if cached is not None:
+            # Retransmission of a completed request: replay the recorded
+            # reply without re-executing the handler (idempotence).
+            self.stats.incr("dup_replayed")
+            resp_meta, resp_bytes, resp_data = cached
+            yield from self.transport.send(request.client, resp_bytes,
+                                           data=resp_data, meta=resp_meta)
+            return
+        self._dup_cache[dup_key] = _IN_PROGRESS
         handler = self._handlers.get(request.proc)
         if handler is None:
             reply = RPCReply(meta={"rpc_error": f"bad proc {request.proc!r}"})
         else:
-            reply = yield from handler(self, request)
+            try:
+                reply = yield from handler(self, request)
+            except _HANDLER_FAULTS as exc:
+                # Injected storage/RDMA faults surface as an error reply
+                # (EIO to the client), not a dead server process.
+                self.stats.incr("handler_faults")
+                reply = RPCReply(meta={"rpc_error": f"server fault: {exc}"})
         yield from cpu.execute(proto.rpc_marshal_us, category="rpc")
         resp_meta = dict(reply.meta)
         resp_meta.update({"rpc": "resp", "rpc_xid": request.xid})
@@ -220,6 +408,10 @@ class RPCServer:
             resp_meta["rddp_untagged"] = True
             resp_meta["rddp_payload"] = reply.data
             resp_meta["rddp_bytes"] = reply.inline_bytes
+        self._dup_cache[dup_key] = (
+            resp_meta, RPC_HEADER_BYTES + reply.inline_bytes, reply.data)
+        while len(self._dup_cache) > DUP_CACHE_CAPACITY:
+            self._dup_cache.popitem(last=False)
         yield from self.transport.send(
             request.client, RPC_HEADER_BYTES + reply.inline_bytes,
             data=reply.data, meta=resp_meta)
