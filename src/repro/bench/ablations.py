@@ -612,3 +612,70 @@ def _ordma_latency(params: Params, use_capabilities: bool,
         return stats.mean
 
     return cluster.sim.run_process(main())
+
+
+# ---------------------------------------------------------------------------
+# Study registry: every ablation as a named, independently runnable point
+# ---------------------------------------------------------------------------
+
+#: name -> (function, quick kwargs, full kwargs). The kwargs mirror what
+#: ``repro-bench ablations [--quick]`` has always used; keeping them here
+#: lets the CLI, the parallel runner, and tests share one source of truth.
+STUDIES = {
+    "polling": (ablation_polling,
+                {"blocks_per_file": 256}, {"blocks_per_file": 512}),
+    "ordma_hit_rate": (ablation_ordma_hit_rate,
+                       {"transactions": 600}, {"transactions": 1200}),
+    "directory_policy": (ablation_directory_policy,
+                         {"transactions": 1200}, {"transactions": 3000}),
+    "registration_cache": (ablation_registration_cache,
+                           {"blocks": 192}, {"blocks": 384}),
+    "nic_tlb": (ablation_nic_tlb, {"n_blocks": 128}, {"n_blocks": 256}),
+    "batch_io": (ablation_batch_io,
+                 {"total_reads": 128}, {"total_reads": 256}),
+    "overhead_sensitivity": (ablation_overhead_sensitivity,
+                             {"ops_per_client": 200},
+                             {"ops_per_client": 400}),
+    "memory_pressure": (ablation_memory_pressure,
+                        {"transactions": 600, "n_files": 128},
+                        {"transactions": 1200, "n_files": 256}),
+    "client_scaling": (ablation_client_scaling,
+                       {"blocks_per_file": 192}, {"blocks_per_file": 384}),
+    "read_write_mix": (ablation_read_write_mix,
+                       {"transactions": 800, "n_files": 128},
+                       {"transactions": 1500, "n_files": 256}),
+    "tcp_transport": (ablation_tcp_transport,
+                      {"blocks": 96}, {"blocks": 192}),
+    "eager_vs_lazy_refs": (ablation_eager_vs_lazy_refs,
+                           {"n_blocks": 128}, {"n_blocks": 256}),
+    "capabilities": (ablation_capabilities,
+                     {"n_blocks": 128}, {"n_blocks": 256}),
+}
+
+
+def _run_study(spec):
+    """One study, shaped for :func:`repro.bench.runner.run_points`."""
+    name, params, quick = spec
+    fn, quick_kwargs, full_kwargs = STUDIES[name]
+    return fn(params=params, **(quick_kwargs if quick else full_kwargs))
+
+
+def collect(params: Optional[Params] = None, quick: bool = False,
+            jobs: Optional[int] = None,
+            studies: Optional[Iterable[str]] = None) -> Dict[str, dict]:
+    """Run the named ``studies`` (default: all), optionally in parallel.
+
+    Returns {study name: study result} in registry order. Each study
+    builds its own clusters from ``params``, so the fan-out changes
+    nothing about the numbers — only the wall-clock.
+    """
+    from .runner import run_points
+
+    names = list(studies) if studies is not None else list(STUDIES)
+    for name in names:
+        if name not in STUDIES:
+            raise ValueError(f"unknown study {name!r}; "
+                             f"one of {sorted(STUDIES)}")
+    results = run_points(_run_study, [(n, params, quick) for n in names],
+                         jobs=jobs)
+    return dict(zip(names, results))

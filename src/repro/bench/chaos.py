@@ -35,6 +35,7 @@ from ..params import KB, Params, default_params
 from ..proto.rpc import RPCError
 from ..sim import LatencyStats, SimulationError, Tracer
 from .plot import ascii_chart
+from .runner import run_points
 
 #: One injectable failure domain per campaign axis.
 FAULT_CLASSES = ("link", "nic", "disk", "server")
@@ -151,25 +152,40 @@ def run_point(system: str, fault_class: str, rate: float,
     return point, tracer
 
 
+def _campaign_point(spec) -> Dict[str, Any]:
+    """One grid point, shaped for :func:`repro.bench.runner.run_points`."""
+    system, fault_class, rate, params, blocks, passes = spec
+    point, _ = run_point(system, fault_class, rate, params=params,
+                         blocks=blocks, passes=passes)
+    return point
+
+
 def chaos_campaign(params: Optional[Params] = None,
                    systems: Sequence[str] = SYSTEMS,
                    fault_classes: Sequence[str] = FAULT_CLASSES,
                    rates: Sequence[float] = DEFAULT_RATES,
                    blocks: int = 64,
-                   passes: int = 2) -> Dict[str, Any]:
-    """{system: {fault_class: {"%.4f" % rate: point}}} over the grid."""
-    results: Dict[str, Any] = {}
+                   passes: int = 2,
+                   jobs: Optional[int] = None) -> Dict[str, Any]:
+    """{system: {fault_class: {"%.4f" % rate: point}}} over the grid.
+
+    Every point builds its own cluster and injector from ``params``, with
+    all randomness drawn from seed-derived named streams, so the grid can
+    fan out over ``jobs`` worker processes and still return exactly the
+    serial campaign's output (the CI chaos-smoke job relies on this).
+    """
     for system in systems:
         if system not in SYSTEMS:
             raise ValueError(f"unknown system {system!r}; one of {SYSTEMS}")
-        per_class = results[system] = {}
-        for fault_class in fault_classes:
-            series = per_class[fault_class] = {}
-            for rate in rates:
-                point, _ = run_point(system, fault_class, rate,
-                                     params=params, blocks=blocks,
-                                     passes=passes)
-                series[f"{rate:.4f}"] = point
+    specs = [(system, fault_class, rate, params, blocks, passes)
+             for system in systems
+             for fault_class in fault_classes
+             for rate in rates]
+    points = run_points(_campaign_point, specs, jobs=jobs)
+    results: Dict[str, Any] = {}
+    for (system, fault_class, rate, _, _, _), point in zip(specs, points):
+        results.setdefault(system, {}) \
+               .setdefault(fault_class, {})[f"{rate:.4f}"] = point
     return results
 
 
@@ -252,6 +268,10 @@ def main(argv=None) -> int:
                         help="master seed for all fault/jitter streams")
     parser.add_argument("--quick", action="store_true",
                         help="smaller grid (24 blocks, 3 rates)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the campaign grid "
+                             "(default: serial; output is byte-identical "
+                             "for any job count)")
     parser.add_argument("--json", action="store_true",
                         help="emit the raw campaign results as JSON")
     parser.add_argument("--dump", metavar="PATH",
@@ -270,7 +290,7 @@ def main(argv=None) -> int:
     results = chaos_campaign(params=params, systems=args.systems,
                              fault_classes=args.fault_classes,
                              rates=rates, blocks=blocks,
-                             passes=args.passes)
+                             passes=args.passes, jobs=args.jobs)
     failures = campaign_failures(results)
 
     if args.dump:

@@ -4,9 +4,10 @@ Examples::
 
     repro-bench table2
     repro-bench fig7 --quick
-    repro-bench all --seed 7
-    repro-bench ablations
+    repro-bench all --seed 7 --jobs 4
+    repro-bench ablations --jobs 8
     repro-bench chaos --quick        # fault-injection campaigns
+    repro-bench perf --quick         # engine microbenchmarks
 """
 
 from __future__ import annotations
@@ -21,14 +22,16 @@ from ..params import Params, default_params
 from . import ablations, baseline, decompose, figures, report
 
 
-def _run_table2(quick: bool, params: Optional[Params]) -> None:
+def _run_table2(quick: bool, params: Optional[Params],
+                jobs: Optional[int]) -> None:
     print(report.render_table2(baseline.table2(params=params),
                                baseline.PAPER_TABLE2))
 
 
-def _run_fig3(quick: bool, params: Optional[Params]) -> None:
+def _run_fig3(quick: bool, params: Optional[Params],
+              jobs: Optional[int]) -> None:
     kwargs = {"blocks_per_point": 192} if quick else {}
-    results = figures.fig3_fig4(params=params, **kwargs)
+    results = figures.fig3_fig4(params=params, jobs=jobs, **kwargs)
     print("Fig. 3 — client read throughput (paper plateaus: NFS ~65, "
           "pre-posting ~235, hybrid ~230, DAFS ~230 MB/s)")
     print(report.render_sweep(results, "throughput_mb_s", "MB/s"))
@@ -38,40 +41,46 @@ def _run_fig3(quick: bool, params: Optional[Params]) -> None:
                            ylabel="MB/s", xlabel="block KB"))
 
 
-def _run_fig4(quick: bool, params: Optional[Params]) -> None:
+def _run_fig4(quick: bool, params: Optional[Params],
+              jobs: Optional[int]) -> None:
     kwargs = {"blocks_per_point": 192} if quick else {}
-    results = figures.fig3_fig4(params=params, **kwargs)
+    results = figures.fig3_fig4(params=params, jobs=jobs, **kwargs)
     print("Fig. 4 — client CPU utilization (DAFS <15% at >=64 KB)")
     print(report.render_sweep(results, "client_cpu", "%", scale=100.0))
 
 
-def _run_fig5(quick: bool, params: Optional[Params]) -> None:
+def _run_fig5(quick: bool, params: Optional[Params],
+              jobs: Optional[int]) -> None:
     kwargs = {"n_records": 128} if quick else {}
-    results = figures.fig5_berkeley_db(params=params, **kwargs)
+    results = figures.fig5_berkeley_db(params=params, jobs=jobs, **kwargs)
     print("Fig. 5 — Berkeley DB throughput vs bytes copied per record (KB)")
     flat = {s: {k: {"mb_s": v} for k, v in series.items()}
             for s, series in results.items()}
     print(report.render_sweep(flat, "mb_s", "MB/s"))
 
 
-def _run_table3(quick: bool, params: Optional[Params]) -> None:
+def _run_table3(quick: bool, params: Optional[Params],
+                jobs: Optional[int]) -> None:
     kwargs = {"n_blocks": 256, "measure_blocks": 128} if quick else {}
     print("Table 3 — 4 KB read response time")
     print(report.render_table3(
-        figures.table3_response_time(params=params, **kwargs),
+        figures.table3_response_time(params=params, jobs=jobs, **kwargs),
         figures.PAPER_TABLE3))
 
 
-def _run_fig6(quick: bool, params: Optional[Params]) -> None:
+def _run_fig6(quick: bool, params: Optional[Params],
+              jobs: Optional[int]) -> None:
     kwargs = {"n_files": 256, "transactions": 1500} if quick else {}
     print("Fig. 6 — PostMark throughput vs client cache hit ratio")
-    print(report.render_fig6(figures.fig6_postmark(params=params, **kwargs)))
+    print(report.render_fig6(figures.fig6_postmark(params=params, jobs=jobs,
+                                                   **kwargs)))
 
 
-def _run_fig7(quick: bool, params: Optional[Params]) -> None:
+def _run_fig7(quick: bool, params: Optional[Params],
+              jobs: Optional[int]) -> None:
     kwargs = {"blocks_per_file": 384} if quick else {}
     print("Fig. 7 — server throughput, two clients (interrupt-mode server)")
-    fig7 = figures.fig7_server_throughput(params=params, **kwargs)
+    fig7 = figures.fig7_server_throughput(params=params, jobs=jobs, **kwargs)
     print(report.render_fig7(fig7))
     from .plot import chart_from_sweep
     print()
@@ -80,7 +89,7 @@ def _run_fig7(quick: bool, params: Optional[Params]) -> None:
     from ..hw.nic import NotifyMode
     poll = figures.fig7_server_throughput(
         params=params, block_sizes_kb=(4,), server_mode=NotifyMode.POLL,
-        **kwargs)
+        jobs=jobs, **kwargs)
     dafs = poll["dafs"][4]["throughput_mb_s"]
     odafs = poll["odafs"][4]["throughput_mb_s"]
     print(f"\npolling server @4KB: DAFS {dafs:.0f} MB/s (paper ~170), "
@@ -88,80 +97,55 @@ def _run_fig7(quick: bool, params: Optional[Params]) -> None:
           f"(paper ~32%)")
 
 
-def _run_ablations(quick: bool, params: Optional[Params]) -> None:
+def _run_ablations(quick: bool, params: Optional[Params],
+                   jobs: Optional[int]) -> None:
+    data = ablations.collect(params=params, quick=quick, jobs=jobs)
     print("Interrupts vs polling (4 KB, two clients):")
-    print(report.render_dict_table(ablations.ablation_polling(
-        params=params,
-        blocks_per_file=256 if quick else 512), "server mode"))
+    print(report.render_dict_table(data["polling"], "server mode"))
     print("\nORDMA success rate (server cache fraction of file set):")
-    print(report.render_dict_table(ablations.ablation_ordma_hit_rate(
-        params=params,
-        transactions=600 if quick else 1200), "cache fraction"))
+    print(report.render_dict_table(data["ordma_hit_rate"],
+                                   "cache fraction"))
     print("\nDirectory replacement policy (hot/cold mix):")
-    print(report.render_dict_table(ablations.ablation_directory_policy(
-        params=params,
-        transactions=1200 if quick else 3000), "policy"))
+    print(report.render_dict_table(data["directory_policy"], "policy"))
     print("\nRegistration caching (NFS hybrid, 64 KB):")
-    print(report.render_dict_table(
-        ablations.ablation_registration_cache(
-            params=params,
-            blocks=192 if quick else 384), "registrations"))
+    print(report.render_dict_table(data["registration_cache"],
+                                   "registrations"))
     print("\nNIC TLB size (ORDMA, reduced 200 us miss penalty):")
-    print(report.render_dict_table(ablations.ablation_nic_tlb(
-        params=params,
-        n_blocks=128 if quick else 256), "TLB entries"))
+    print(report.render_dict_table(data["nic_tlb"], "TLB entries"))
     print("\nBatch I/O (4 KB reads):")
-    print(report.render_dict_table(ablations.ablation_batch_io(
-        params=params,
-        total_reads=128 if quick else 256), "batch size"))
+    print(report.render_dict_table(data["batch_io"], "batch size"))
     print("\nSFS-mix sensitivity (throughput relative to 1.0x, knob x4):")
-    sens = ablations.ablation_overhead_sensitivity(
-        params=params,
-        ops_per_client=200 if quick else 400)
-    for knob, series in sens.items():
+    for knob, series in data["overhead_sensitivity"].items():
         base = series[1.0]
         scaled = {k: round(v / base, 3) for k, v in sorted(series.items())}
         print(f"  {knob}: {scaled}")
     print("\nServer VM pressure (reclaim interval us; 0 = none):")
-    print(report.render_dict_table(ablations.ablation_memory_pressure(
-        params=params,
-        transactions=600 if quick else 1200,
-        n_files=128 if quick else 256), "interval"))
+    print(report.render_dict_table(data["memory_pressure"], "interval"))
     print("\nClient scaling (4 KB reads through the client cache):")
-    scaling = ablations.ablation_client_scaling(
-        params=params,
-        blocks_per_file=192 if quick else 384)
-    for system, series in scaling.items():
+    for system, series in data["client_scaling"].items():
         print(f"  {system}:")
         print("  " + report.render_dict_table(
             series, "clients").replace("\n", "\n  "))
     print("\nRead/write mix (ODAFS gain vs read ratio):")
-    print(report.render_dict_table(ablations.ablation_read_write_mix(
-        params=params,
-        transactions=800 if quick else 1500,
-        n_files=128 if quick else 256), "read ratio"))
+    print(report.render_dict_table(data["read_write_mix"], "read ratio"))
     print("\nNFS transport: UDP vs host TCP (64 KB streaming):")
-    print(report.render_dict_table(ablations.ablation_tcp_transport(
-        params=params,
-        blocks=96 if quick else 192), "transport"))
+    print(report.render_dict_table(data["tcp_transport"], "transport"))
     print("\nEager vs lazy directory building (cold pass, warm server):")
-    print(report.render_dict_table(ablations.ablation_eager_vs_lazy_refs(
-        params=params,
-        n_blocks=128 if quick else 256), "strategy"))
+    print(report.render_dict_table(data["eager_vs_lazy_refs"], "strategy"))
     print("\nCapability verification:")
-    caps = ablations.ablation_capabilities(params=params,
-                                           n_blocks=128 if quick else 256)
-    for key, value in caps.items():
+    for key, value in data["capabilities"].items():
         print(f"  {key}: {value:.2f}")
 
 
-def _run_decompose(quick: bool, params: Optional[Params]) -> None:
+def _run_decompose(quick: bool, params: Optional[Params],
+                   jobs: Optional[int]) -> None:
     print("Overhead decomposition o(m) = m*o_byte + o_io (Section 2.2 fit)")
     result = decompose.decompose(params=params, n_ios=48 if quick else 96)
     print(decompose.render(result))
 
 
-TARGETS: Dict[str, Callable[[bool, Optional[Params]], None]] = {
+TARGETS: Dict[str, Callable[[bool, Optional[Params], Optional[int]],
+                            None]] = {
     "table2": _run_table2,
     "fig3": _run_fig3,
     "fig4": _run_fig4,
@@ -175,23 +159,29 @@ TARGETS: Dict[str, Callable[[bool, Optional[Params]], None]] = {
 
 
 #: Raw-data collectors for --json output (machine-readable results).
-COLLECTORS: Dict[str, Callable[[bool, Optional[Params]], object]] = {
-    "table2": lambda quick, params: baseline.table2(params=params),
-    "fig3": lambda quick, params: figures.fig3_fig4(
-        params=params, **({"blocks_per_point": 192} if quick else {})),
-    "fig4": lambda quick, params: figures.fig3_fig4(
-        params=params, **({"blocks_per_point": 192} if quick else {})),
-    "fig5": lambda quick, params: figures.fig5_berkeley_db(
-        params=params, **({"n_records": 128} if quick else {})),
-    "table3": lambda quick, params: figures.table3_response_time(
-        params=params,
+COLLECTORS: Dict[str, Callable[[bool, Optional[Params], Optional[int]],
+                               object]] = {
+    "table2": lambda quick, params, jobs: baseline.table2(params=params),
+    "fig3": lambda quick, params, jobs: figures.fig3_fig4(
+        params=params, jobs=jobs,
+        **({"blocks_per_point": 192} if quick else {})),
+    "fig4": lambda quick, params, jobs: figures.fig3_fig4(
+        params=params, jobs=jobs,
+        **({"blocks_per_point": 192} if quick else {})),
+    "fig5": lambda quick, params, jobs: figures.fig5_berkeley_db(
+        params=params, jobs=jobs, **({"n_records": 128} if quick else {})),
+    "table3": lambda quick, params, jobs: figures.table3_response_time(
+        params=params, jobs=jobs,
         **({"n_blocks": 256, "measure_blocks": 128} if quick else {})),
-    "fig6": lambda quick, params: figures.fig6_postmark(
-        params=params,
+    "fig6": lambda quick, params, jobs: figures.fig6_postmark(
+        params=params, jobs=jobs,
         **({"n_files": 256, "transactions": 1500} if quick else {})),
-    "fig7": lambda quick, params: figures.fig7_server_throughput(
-        params=params, **({"blocks_per_file": 384} if quick else {})),
-    "decompose": lambda quick, params: decompose.decompose(
+    "fig7": lambda quick, params, jobs: figures.fig7_server_throughput(
+        params=params, jobs=jobs,
+        **({"blocks_per_file": 384} if quick else {})),
+    "ablations": lambda quick, params, jobs: ablations.collect(
+        params=params, quick=quick, jobs=jobs),
+    "decompose": lambda quick, params, jobs: decompose.decompose(
         params=params, n_ios=48 if quick else 96),
 }
 
@@ -210,24 +200,33 @@ def main(argv=None) -> int:
         # Fault-injection campaigns likewise (see chaos).
         from .chaos import main as chaos_main
         return chaos_main(list(argv[1:]))
+    if argv and argv[0] == "perf":
+        # Engine microbenchmarks and the tracked perf trajectory.
+        from .perf import main as perf_main
+        return perf_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the FAST'03 paper's tables and figures. "
                     "Extra subcommands: 'trace' analyzes end-to-end "
                     "request spans, 'chaos' runs fault-injection "
-                    "degradation campaigns (repro-bench chaos --help).")
+                    "degradation campaigns, 'perf' benchmarks the "
+                    "simulation engine itself (repro-bench perf --help).")
     parser.add_argument("target", choices=list(TARGETS) + ["all"],
                         help="which table/figure to regenerate "
-                             "(or 'trace'/'chaos' subcommands)")
+                             "(or 'trace'/'chaos'/'perf' subcommands)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller workloads (same shapes, faster)")
     parser.add_argument("--seed", type=int, default=None,
                         help="master seed for every simulation RNG stream "
                              "(default: the calibrated Params seed)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sweep grids (default: "
+                             "serial; results are byte-identical for any "
+                             "job count)")
     parser.add_argument("--json", action="store_true",
                         help="emit raw results as JSON instead of tables "
-                             "(not available for 'ablations'/'all')")
+                             "(not available for 'all')")
     args = parser.parse_args(argv)
     params = (default_params().copy(seed=args.seed)
               if args.seed is not None else None)
@@ -236,7 +235,7 @@ def main(argv=None) -> int:
         if collector is None:
             parser.error(f"--json not supported for {args.target!r}")
         try:
-            result = collector(args.quick, params)
+            result = collector(args.quick, params, args.jobs)
         except Exception:
             traceback.print_exc()
             return 1
@@ -248,7 +247,7 @@ def main(argv=None) -> int:
         start = time.time()
         print(f"=== {name} ===")
         try:
-            TARGETS[name](args.quick, params)
+            TARGETS[name](args.quick, params, args.jobs)
         except Exception:
             # A failed target must not mask the others, but the process
             # exit code has to say the run was not clean.

@@ -18,6 +18,7 @@ from ..workloads.bdb import BerkeleyDBJoinWorkload
 from ..workloads.postmark import PostMarkWorkload
 from ..workloads.sequential import SequentialReadWorkload
 from ..workloads.smallio import MultiClientReadWorkload
+from .runner import run_points
 
 #: Fig. 3/4 application block sizes (KB), as in the paper.
 FIG3_BLOCK_SIZES_KB = (4, 8, 16, 32, 64, 128, 256, 512)
@@ -42,37 +43,51 @@ PAPER_FIG7_GAIN = 0.32   # ODAFS ~32% over polling DAFS at 4 KB
 # Fig. 3 + Fig. 4: client read throughput and CPU utilization
 # ---------------------------------------------------------------------------
 
+def _fig3_point(spec) -> Dict[str, float]:
+    """One (system, block size) cell of the Fig. 3/4 sweep."""
+    params, system, block_kb, blocks_per_point, window = spec
+    block = block_kb * KB
+    cluster = Cluster(params.copy(), system=system,
+                      block_size=block,
+                      server_cache_blocks=blocks_per_point + 8,
+                      client_kwargs=_streaming_client_kwargs(system))
+    cluster.create_file("stream", blocks_per_point * block)
+    workload = SequentialReadWorkload(
+        cluster, "stream", blocks_per_point * block, block,
+        window=window)
+    out = workload.run()
+    return {
+        "throughput_mb_s": out["throughput_mb_s"],
+        "client_cpu": out["client_cpu"],
+    }
+
+
 def fig3_fig4(params: Optional[Params] = None,
               systems: Iterable[str] = FIG3_SYSTEMS,
               block_sizes_kb: Iterable[int] = FIG3_BLOCK_SIZES_KB,
               blocks_per_point: int = 512,
-              window: int = 16) -> Dict[str, Dict[int, Dict[str, float]]]:
+              window: int = 16,
+              jobs: Optional[int] = None
+              ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Sequential read-ahead sweep over application block size.
 
     Returns {system: {block_kb: {throughput_mb_s, client_cpu}}}. The paper
     used a 1.5 GB file; we scale the file with the block size
     (``blocks_per_point`` blocks) since steady-state rates are
-    size-independent.
+    size-independent. ``jobs`` fans the grid across a process pool; each
+    point is seed-deterministic, so the result is identical for any job
+    count.
     """
     params = params or default_params()
-    results: Dict[str, Dict[int, Dict[str, float]]] = {}
-    for system in systems:
-        results[system] = {}
-        for block_kb in block_sizes_kb:
-            block = block_kb * KB
-            cluster = Cluster(params.copy(), system=system,
-                              block_size=block,
-                              server_cache_blocks=blocks_per_point + 8,
-                              client_kwargs=_streaming_client_kwargs(system))
-            cluster.create_file("stream", blocks_per_point * block)
-            workload = SequentialReadWorkload(
-                cluster, "stream", blocks_per_point * block, block,
-                window=window)
-            out = workload.run()
-            results[system][block_kb] = {
-                "throughput_mb_s": out["throughput_mb_s"],
-                "client_cpu": out["client_cpu"],
-            }
+    systems = list(systems)
+    block_sizes_kb = list(block_sizes_kb)
+    specs = [(params, system, block_kb, blocks_per_point, window)
+             for system in systems for block_kb in block_sizes_kb]
+    cells = run_points(_fig3_point, specs, jobs=jobs)
+    results: Dict[str, Dict[int, Dict[str, float]]] = \
+        {system: {} for system in systems}
+    for (_, system, block_kb, _, _), cell in zip(specs, cells):
+        results[system][block_kb] = cell
     return results
 
 
@@ -86,34 +101,43 @@ def _streaming_client_kwargs(system: str) -> Dict:
 # Fig. 5: Berkeley DB join throughput vs per-record copying
 # ---------------------------------------------------------------------------
 
+def _fig5_point(spec) -> float:
+    """One (system, copied KB) cell of the Fig. 5 sweep."""
+    params, system, copied_kb, n_records, window = spec
+    io = BerkeleyDBJoinWorkload.IO_BYTES
+    copy_bytes = min(copied_kb * KB, BerkeleyDBJoinWorkload.RECORD_BYTES)
+    if copied_kb == 0:
+        copy_bytes = 1
+    cluster = Cluster(params.copy(), system=system, block_size=io,
+                      server_cache_blocks=n_records + 8,
+                      client_kwargs=_streaming_client_kwargs(system))
+    cluster.create_file("db", n_records * io)
+    workload = BerkeleyDBJoinWorkload(cluster, "db", n_records,
+                                      copy_bytes, window=window)
+    return workload.run()["throughput_mb_s"]
+
+
 def fig5_berkeley_db(params: Optional[Params] = None,
                      systems: Iterable[str] = FIG3_SYSTEMS,
                      copy_points_kb: Iterable[int] = (0, 8, 16, 32, 64),
                      n_records: int = 256,
-                     window: int = 8) -> Dict[str, Dict[int, float]]:
+                     window: int = 8,
+                     jobs: Optional[int] = None
+                     ) -> Dict[str, Dict[int, float]]:
     """Returns {system: {copied_kb: throughput_mb_s}}.
 
     ``copied_kb=0`` copies one byte (the paper's minimum); 64 means the
     whole 60 KB record (the paper's axis tops at its record size).
     """
     params = params or default_params()
-    io = BerkeleyDBJoinWorkload.IO_BYTES
-    results: Dict[str, Dict[int, float]] = {}
-    for system in systems:
-        results[system] = {}
-        for copied_kb in copy_points_kb:
-            copy_bytes = min(copied_kb * KB,
-                             BerkeleyDBJoinWorkload.RECORD_BYTES)
-            if copied_kb == 0:
-                copy_bytes = 1
-            cluster = Cluster(params.copy(), system=system, block_size=io,
-                              server_cache_blocks=n_records + 8,
-                              client_kwargs=_streaming_client_kwargs(system))
-            cluster.create_file("db", n_records * io)
-            workload = BerkeleyDBJoinWorkload(cluster, "db", n_records,
-                                              copy_bytes, window=window)
-            out = workload.run()
-            results[system][copied_kb] = out["throughput_mb_s"]
+    systems = list(systems)
+    copy_points_kb = list(copy_points_kb)
+    specs = [(params, system, copied_kb, n_records, window)
+             for system in systems for copied_kb in copy_points_kb]
+    cells = run_points(_fig5_point, specs, jobs=jobs)
+    results: Dict[str, Dict[int, float]] = {system: {} for system in systems}
+    for (_, system, copied_kb, _, _), cell in zip(specs, cells):
+        results[system][copied_kb] = cell
     return results
 
 
@@ -121,9 +145,17 @@ def fig5_berkeley_db(params: Optional[Params] = None,
 # Table 3: 4 KB read response time
 # ---------------------------------------------------------------------------
 
+def _table3_point(spec) -> float:
+    """One (system, rpc mode) microbenchmark of the Table 3 grid."""
+    params, system, rpc_mode, n_blocks, measure_blocks = spec
+    return _response_time(params, system, rpc_mode, n_blocks,
+                          measure_blocks)
+
+
 def table3_response_time(params: Optional[Params] = None,
                          n_blocks: int = 1024,
-                         measure_blocks: int = 512
+                         measure_blocks: int = 512,
+                         jobs: Optional[int] = None
                          ) -> Dict[str, Dict[str, float]]:
     """Response time of 4 KB reads by network I/O mechanism.
 
@@ -133,25 +165,17 @@ def table3_response_time(params: Optional[Params] = None,
     directory. Reported: mean second-pass response time.
     """
     params = params or default_params()
-    results = {
-        "rpc_inline": {
-            "in_mem": _response_time(params, "dafs", "inline-mem",
-                                     n_blocks, measure_blocks),
-            "in_cache": _response_time(params, "dafs", "inline",
-                                       n_blocks, measure_blocks),
-        },
-        "rpc_direct": {
-            "in_mem": _response_time(params, "dafs", "direct",
-                                     n_blocks, measure_blocks),
-            "in_cache": _response_time(params, "dafs", "direct",
-                                       n_blocks, measure_blocks),
-        },
-        "ordma": {},
+    specs = [(params, "dafs", "inline-mem", n_blocks, measure_blocks),
+             (params, "dafs", "inline", n_blocks, measure_blocks),
+             (params, "dafs", "direct", n_blocks, measure_blocks),
+             (params, "odafs", "direct", n_blocks, measure_blocks)]
+    inline_mem, inline, direct, ordma = \
+        run_points(_table3_point, specs, jobs=jobs)
+    return {
+        "rpc_inline": {"in_mem": inline_mem, "in_cache": inline},
+        "rpc_direct": {"in_mem": direct, "in_cache": direct},
+        "ordma": {"in_mem": ordma, "in_cache": ordma},
     }
-    ordma = _response_time(params, "odafs", "direct", n_blocks,
-                           measure_blocks)
-    results["ordma"] = {"in_mem": ordma, "in_cache": ordma}
-    return results
 
 
 def _response_time(params: Params, system: str, rpc_mode: str,
@@ -182,10 +206,30 @@ def _response_time(params: Params, system: str, rpc_mode: str,
 # Fig. 6: PostMark throughput vs client cache hit ratio
 # ---------------------------------------------------------------------------
 
+def _fig6_point(spec) -> Dict[str, float]:
+    """One (system, hit ratio) cell of the Fig. 6 sweep."""
+    params, system, ratio, n_files, transactions = spec
+    cache_blocks = max(1, int(n_files * ratio))
+    cluster = Cluster(params.copy(), system=system,
+                      block_size=4 * KB,
+                      server_cache_blocks=n_files + 8,
+                      client_kwargs={"cache_blocks": cache_blocks})
+    workload = PostMarkWorkload(cluster, n_files=n_files,
+                                transactions=transactions)
+    workload.setup()
+    out = workload.run()
+    return {
+        "txns_per_s": out["txns_per_s"],
+        "server_cpu": out["server_cpu"],
+        "hit_ratio": out.get("client_cache_hit_ratio", 0.0),
+    }
+
+
 def fig6_postmark(params: Optional[Params] = None,
                   hit_ratios: Iterable[float] = (0.25, 0.50, 0.75),
                   n_files: int = 512,
-                  transactions: int = 4000
+                  transactions: int = 4000,
+                  jobs: Optional[int] = None
                   ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Returns {system: {hit_pct: {txns_per_s, server_cpu, hit_ratio}}}.
 
@@ -193,24 +237,15 @@ def fig6_postmark(params: Optional[Params] = None,
     relative to the fixed file set, exactly as the paper varies it.
     """
     params = params or default_params()
-    results: Dict[str, Dict[int, Dict[str, float]]] = {}
-    for system in ("dafs", "odafs"):
-        results[system] = {}
-        for ratio in hit_ratios:
-            cache_blocks = max(1, int(n_files * ratio))
-            cluster = Cluster(params.copy(), system=system,
-                              block_size=4 * KB,
-                              server_cache_blocks=n_files + 8,
-                              client_kwargs={"cache_blocks": cache_blocks})
-            workload = PostMarkWorkload(cluster, n_files=n_files,
-                                        transactions=transactions)
-            workload.setup()
-            out = workload.run()
-            results[system][int(ratio * 100)] = {
-                "txns_per_s": out["txns_per_s"],
-                "server_cpu": out["server_cpu"],
-                "hit_ratio": out.get("client_cache_hit_ratio", 0.0),
-            }
+    systems = ("dafs", "odafs")
+    hit_ratios = list(hit_ratios)
+    specs = [(params, system, ratio, n_files, transactions)
+             for system in systems for ratio in hit_ratios]
+    cells = run_points(_fig6_point, specs, jobs=jobs)
+    results: Dict[str, Dict[int, Dict[str, float]]] = \
+        {system: {} for system in systems}
+    for (_, system, ratio, _, _), cell in zip(specs, cells):
+        results[system][int(ratio * 100)] = cell
     return results
 
 
@@ -218,12 +253,33 @@ def fig6_postmark(params: Optional[Params] = None,
 # Fig. 7: server throughput, two clients, small I/O
 # ---------------------------------------------------------------------------
 
+def _fig7_point(spec) -> Dict[str, float]:
+    """One (system, cache block size) cell of the Fig. 7 sweep."""
+    params, system, block_kb, blocks_per_file, mode_value, app_blocks = spec
+    block = block_kb * KB
+    file_size = blocks_per_file * block
+    cluster = Cluster(params.copy(), system=system,
+                      block_size=block, n_clients=2,
+                      server_cache_blocks=blocks_per_file + 8,
+                      server_notify_mode=NotifyMode(mode_value),
+                      client_kwargs={"cache_blocks": 32})
+    cluster.create_file("big", file_size)
+    workload = MultiClientReadWorkload(
+        cluster, "big", file_size, app_block_size=app_blocks * block)
+    out = workload.run()
+    return {
+        "throughput_mb_s": out["throughput_mb_s"],
+        "server_cpu": out["server_cpu"],
+    }
+
+
 def fig7_server_throughput(params: Optional[Params] = None,
                            block_sizes_kb: Iterable[int] = FIG7_BLOCK_SIZES_KB,
                            blocks_per_file: int = 768,
                            server_mode: NotifyMode = NotifyMode.BLOCK,
                            systems: Iterable[str] = ("dafs", "odafs"),
-                           app_blocks: int = 8
+                           app_blocks: int = 8,
+                           jobs: Optional[int] = None
                            ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Returns {system: {cache_block_kb: {throughput_mb_s, server_cpu}}}.
 
@@ -232,23 +288,14 @@ def fig7_server_throughput(params: Optional[Params] = None,
     DAFS service (the paper reports both at 4 KB).
     """
     params = params or default_params()
-    results: Dict[str, Dict[int, Dict[str, float]]] = {}
-    for system in systems:
-        results[system] = {}
-        for block_kb in block_sizes_kb:
-            block = block_kb * KB
-            file_size = blocks_per_file * block
-            cluster = Cluster(params.copy(), system=system,
-                              block_size=block, n_clients=2,
-                              server_cache_blocks=blocks_per_file + 8,
-                              server_notify_mode=server_mode,
-                              client_kwargs={"cache_blocks": 32})
-            cluster.create_file("big", file_size)
-            workload = MultiClientReadWorkload(
-                cluster, "big", file_size, app_block_size=app_blocks * block)
-            out = workload.run()
-            results[system][block_kb] = {
-                "throughput_mb_s": out["throughput_mb_s"],
-                "server_cpu": out["server_cpu"],
-            }
+    systems = list(systems)
+    block_sizes_kb = list(block_sizes_kb)
+    specs = [(params, system, block_kb, blocks_per_file,
+              server_mode.value, app_blocks)
+             for system in systems for block_kb in block_sizes_kb]
+    cells = run_points(_fig7_point, specs, jobs=jobs)
+    results: Dict[str, Dict[int, Dict[str, float]]] = \
+        {system: {} for system in systems}
+    for (_, system, block_kb, _, _, _), cell in zip(specs, cells):
+        results[system][block_kb] = cell
     return results

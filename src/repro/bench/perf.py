@@ -1,0 +1,452 @@
+"""``repro-bench perf`` — microbenchmarks of the simulation engine itself.
+
+The paper's argument is about shaving per-I/O overhead off the hot path;
+this module applies the same discipline to the harness. It measures, in
+real (wall-clock) time:
+
+* ``kernel_events`` — raw event-loop dispatch: timer-hopping processes,
+  reported as events/second through the kernel heap.
+* ``allof_fanin`` — composite-condition fan-in (:class:`repro.sim.AllOf`
+  over wide process barriers, the Fig. 7 / SFS workload shape).
+* ``interrupt_storm`` — many waiters parked on one event, then
+  interrupted: the retry/timeout churn of retry-heavy chaos runs.
+* ``link_frames`` — frames/second through the switch + bandwidth-pipe
+  fabric path.
+* ``rpc_reads`` — end-to-end 4 KB cached reads/second through a full
+  DAFS cluster (client cache, RPC, NIC, link, server cache).
+* ``figure_sweep`` — wall-clock for a reduced Fig. 3 sweep, serial vs
+  ``--jobs N``, proving the parallel runner's speedup and verifying the
+  two result sets are identical.
+
+Every bench separates *deterministic* outputs (simulated time, event and
+operation counts, result checksums — identical on every run and every
+machine) from *timing* outputs (wall seconds, rates). ``--digest`` prints
+only the former, so CI can diff two runs byte-for-byte; rates are also
+reported normalized to a pure-Python calibration loop so a committed
+baseline from one machine can gate regressions on another
+(``--check BENCH_perf.json``).
+
+Examples::
+
+    repro-bench perf --quick
+    repro-bench perf --quick --digest          # deterministic fields only
+    repro-bench perf --out BENCH_perf.json     # write/refresh the baseline
+    repro-bench perf --quick --check BENCH_perf.json   # CI regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from ..cluster import Cluster
+from ..net.link import Switch
+from ..net.packet import Message, MsgKind, fragment
+from ..params import KB, default_params
+from ..sim import Interrupt, Simulator
+from . import figures
+
+#: Bump when bench shapes change incompatibly (invalidates --check).
+SCHEMA_VERSION = 2
+
+#: Normalized rates (rate / calibration) measured on the pre-optimization
+#: kernel with full shapes, before the trampoline pool / AllOf counter /
+#: O(1)-interrupt fast paths landed. Embedded in every suite document so
+#: BENCH_perf.json always carries the before/after trajectory. The
+#: figure-sweep speedup below is from a single-CPU container, where
+#: ``--jobs`` cannot beat serial; it scales with available cores.
+SEED_KERNEL_REFERENCE = {
+    "kernel_events": 0.023419,
+    "allof_fanin": 0.005942,
+    "interrupt_storm": 0.005265,
+    "link_frames": 0.002447,
+    "rpc_reads": 0.000103,
+    "figure_sweep": 0.993163,
+}
+
+#: (full, quick) sizing per bench.
+KERNEL_PROCS = (64, 32)
+KERNEL_HOPS = (600, 200)
+ALLOF_FANIN = (64, 32)
+ALLOF_ROUNDS = (60, 20)
+INTERRUPT_WAITERS = (400, 150)
+INTERRUPT_ROUNDS = (12, 5)
+LINK_MESSAGES = (400, 150)
+LINK_MSG_BYTES = 16 * KB
+RPC_BLOCKS = (192, 64)
+SWEEP_BLOCKS = (192, 64)
+SWEEP_BLOCK_SIZES_KB = (4, 16, 64, 256)
+
+
+def _checksum(obj: Any) -> str:
+    """Stable digest of any JSON-serializable result object."""
+    canon = json.dumps(obj, sort_keys=True, default=str)
+    return hashlib.sha256(canon.encode()).hexdigest()[:16]
+
+
+def calibrate(loops: int = 5, n: int = 200_000) -> float:
+    """Machine speed reference: pure-Python ops/second.
+
+    Normalizing bench rates by this figure makes the committed baseline
+    meaningful across machines of different speeds — a 2x slower CI
+    runner scores ~2x lower on both the benches and the calibration, so
+    the normalized ratio holds.
+    """
+    best = float("inf")
+    for _ in range(loops):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(n):
+            acc += i & 7
+        best = min(best, time.perf_counter() - t0)
+    return n / best
+
+
+# ---------------------------------------------------------------------------
+# Kernel microbenchmarks
+# ---------------------------------------------------------------------------
+
+def bench_kernel_events(quick: bool = False) -> Dict[str, Any]:
+    """Timer-hopping processes: pure event-loop dispatch throughput."""
+    procs = KERNEL_PROCS[quick]
+    hops = KERNEL_HOPS[quick]
+    sim = Simulator()
+
+    def hopper():
+        for _ in range(hops):
+            yield sim.timeout(1.0)
+
+    for _ in range(procs):
+        sim.process(hopper())
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return {"wall_s": wall, "events": sim._seq, "sim_us": sim.now,
+            "events_per_s": sim._seq / wall}
+
+
+def bench_allof_fanin(quick: bool = False) -> Dict[str, Any]:
+    """Wide AllOf barriers over short-lived worker processes."""
+    fanin = ALLOF_FANIN[quick]
+    rounds = ALLOF_ROUNDS[quick]
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1.0)
+
+    def main():
+        for _ in range(rounds):
+            yield sim.all_of([sim.process(worker())
+                              for _ in range(fanin)])
+
+    t0 = time.perf_counter()
+    sim.run_process(main())
+    wall = time.perf_counter() - t0
+    triggers = fanin * rounds
+    return {"wall_s": wall, "events": sim._seq, "sim_us": sim.now,
+            "child_triggers": triggers,
+            "triggers_per_s": triggers / wall}
+
+
+def bench_interrupt_storm(quick: bool = False) -> Dict[str, Any]:
+    """Park many waiters on one event, interrupt them all, repeat.
+
+    Every waiter's resume callback sits in the shared event's callback
+    list, so each interrupt historically paid an O(waiters) list scan —
+    the shape of retry-heavy chaos runs with big timeout fan-ins.
+    """
+    waiters = INTERRUPT_WAITERS[quick]
+    rounds = INTERRUPT_ROUNDS[quick]
+    sim = Simulator()
+
+    def sleeper(gate):
+        try:
+            yield gate
+        except Interrupt:
+            pass
+
+    def main():
+        for _ in range(rounds):
+            gate = sim.event()
+            procs = [sim.process(sleeper(gate)) for _ in range(waiters)]
+            yield sim.timeout(1.0)
+            for proc in procs:
+                proc.interrupt("cancel")
+            yield sim.all_of(procs)
+
+    t0 = time.perf_counter()
+    sim.run_process(main())
+    wall = time.perf_counter() - t0
+    interrupts = waiters * rounds
+    return {"wall_s": wall, "events": sim._seq, "sim_us": sim.now,
+            "interrupts": interrupts,
+            "interrupts_per_s": interrupts / wall}
+
+
+# ---------------------------------------------------------------------------
+# Fabric and end-to-end benchmarks
+# ---------------------------------------------------------------------------
+
+def bench_link_frames(quick: bool = False) -> Dict[str, Any]:
+    """Fragmented messages through the switch's forwarding path."""
+    messages = LINK_MESSAGES[quick]
+    params = default_params()
+    sim = Simulator()
+    switch = Switch(sim, params.net)
+    switch.attach("a")
+    sink = switch.attach("b")
+    sink.set_handler(lambda frame: None)
+
+    def sender():
+        for _ in range(messages):
+            msg = Message(MsgKind.GM_SEND, "a", "b", LINK_MSG_BYTES)
+            for frame in fragment(msg, params.net.gm_mtu,
+                                  params.net.gm_header_bytes):
+                switch.transmit("a", frame)
+            yield sim.timeout(1.0)
+
+    t0 = time.perf_counter()
+    sim.run_process(sender())
+    wall = time.perf_counter() - t0
+    return {"wall_s": wall, "frames": switch.frames_forwarded,
+            "sim_us": sim.now,
+            "frames_per_s": switch.frames_forwarded / wall}
+
+
+def bench_rpc_reads(quick: bool = False) -> Dict[str, Any]:
+    """End-to-end 4 KB cached reads through a full DAFS cluster."""
+    blocks = RPC_BLOCKS[quick]
+    block = 4 * KB
+    cluster = Cluster(default_params(), system="dafs", block_size=block,
+                      server_cache_blocks=blocks + 8,
+                      client_kwargs={"cache_blocks": 8,
+                                     "rpc_read_mode": "direct"})
+    cluster.create_file("perf", blocks * block)
+    client = cluster.clients[0]
+
+    def workload():
+        yield from client.open("perf")
+        for _ in range(2):
+            for i in range(blocks):
+                yield from client.read("perf", i * block, block)
+
+    t0 = time.perf_counter()
+    cluster.sim.run_process(workload())
+    wall = time.perf_counter() - t0
+    ops = 2 * blocks
+    return {"wall_s": wall, "ops": ops, "sim_us": cluster.sim.now,
+            "events": cluster.sim._seq, "ops_per_s": ops / wall}
+
+
+def bench_figure_sweep(quick: bool = False,
+                       jobs: int = 4) -> Dict[str, Any]:
+    """A reduced Fig. 3 sweep: serial wall vs ``jobs``-way parallel wall.
+
+    The two result dicts must be identical — the speedup is pure
+    orchestration, not a change in what is simulated.
+    """
+    blocks = SWEEP_BLOCKS[quick]
+    kwargs = dict(blocks_per_point=blocks,
+                  block_sizes_kb=SWEEP_BLOCK_SIZES_KB)
+    t0 = time.perf_counter()
+    serial = figures.fig3_fig4(jobs=1, **kwargs)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = figures.fig3_fig4(jobs=jobs, **kwargs)
+    parallel_s = time.perf_counter() - t0
+    return {"serial_s": serial_s, "parallel_s": parallel_s, "jobs": jobs,
+            "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+            "identical": serial == parallel,
+            "checksum": _checksum(serial)}
+
+
+#: bench name -> (function, rate key). The rate key is the figure the
+#: regression gate tracks (normalized by the calibration loop).
+BENCHES = {
+    "kernel_events": (bench_kernel_events, "events_per_s"),
+    "allof_fanin": (bench_allof_fanin, "triggers_per_s"),
+    "interrupt_storm": (bench_interrupt_storm, "interrupts_per_s"),
+    "link_frames": (bench_link_frames, "frames_per_s"),
+    "rpc_reads": (bench_rpc_reads, "ops_per_s"),
+}
+
+#: Deterministic (machine-independent) fields per bench, for --digest.
+DIGEST_FIELDS = ("events", "sim_us", "child_triggers", "interrupts",
+                 "frames", "ops", "identical", "checksum", "jobs")
+
+
+def run_suite(quick: bool = False, jobs: int = 4, repeat: int = 3,
+              sweep: bool = True) -> Dict[str, Any]:
+    """Run every bench; returns the BENCH_perf.json document."""
+    calib = calibrate()
+    benches: Dict[str, Any] = {}
+    for name, (fn, rate_key) in BENCHES.items():
+        best: Optional[Dict[str, Any]] = None
+        for _ in range(max(1, repeat)):
+            result = fn(quick)
+            if best is None or result["wall_s"] < best["wall_s"]:
+                best = result
+        best["rate_key"] = rate_key
+        best["normalized"] = best[rate_key] / calib
+        benches[name] = best
+    if sweep:
+        result = bench_figure_sweep(quick, jobs=jobs)
+        # Normalized *cost* (lower is better): serial wall scaled by
+        # machine speed, so the gate is meaningful across machines.
+        result["rate_key"] = "speedup"
+        result["normalized"] = result["speedup"]
+        benches["figure_sweep"] = result
+    return {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "calibration_ops_per_s": calib,
+        # Informational only (not part of the digest or the gate): the
+        # figure-sweep speedup is bounded by the host's core count.
+        "host": {"cpu_count": os.cpu_count(),
+                 "python": platform.python_version(),
+                 "platform": sys.platform},
+        "reference_seed_kernel": SEED_KERNEL_REFERENCE,
+        "benches": benches,
+    }
+
+
+def digest(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """The machine-independent projection of a suite document."""
+    out: Dict[str, Any] = {"schema": doc["schema"], "quick": doc["quick"]}
+    for name, bench in doc["benches"].items():
+        out[name] = {k: bench[k] for k in DIGEST_FIELDS if k in bench}
+    return out
+
+
+def check_regression(doc: Dict[str, Any], baseline: Dict[str, Any],
+                     tolerance: float = 0.25) -> List[str]:
+    """Compare normalized rates against a committed baseline.
+
+    Returns a list of human-readable failures (empty = pass). A bench
+    regresses when its normalized rate drops more than ``tolerance``
+    below the baseline's. Benches present in only one document are
+    skipped (the suite may grow).
+    """
+    problems = []
+    if baseline.get("schema") != doc["schema"]:
+        return [f"baseline schema {baseline.get('schema')} != "
+                f"{doc['schema']}; refresh BENCH_perf.json"]
+    base_benches = baseline.get("benches", {})
+    for name, bench in doc["benches"].items():
+        base = base_benches.get(name)
+        if base is None or "normalized" not in base:
+            continue
+        floor = base["normalized"] * (1.0 - tolerance)
+        if bench["normalized"] < floor:
+            problems.append(
+                f"{name}: normalized {bench['normalized']:.4f} < "
+                f"{floor:.4f} (baseline {base['normalized']:.4f} "
+                f"- {tolerance:.0%})")
+        if name == "figure_sweep" and not bench.get("identical", True):
+            problems.append("figure_sweep: serial and parallel results "
+                            "differ — determinism broken")
+    return problems
+
+
+def render(doc: Dict[str, Any]) -> str:
+    """Human-readable table for a perf-suite result document."""
+    lines = [f"Engine microbenchmarks "
+             f"({'quick' if doc['quick'] else 'full'} shapes; "
+             f"calibration {doc['calibration_ops_per_s'] / 1e6:.1f} "
+             f"Mops/s)"]
+    lines.append(f"  {'bench':<18} {'rate':>14} {'normalized':>11} "
+                 f"{'vs seed':>8} {'wall s':>8}  deterministic")
+    ref = doc.get("reference_seed_kernel", {})
+    for name, bench in doc["benches"].items():
+        rate_key = bench["rate_key"]
+        det = {k: bench[k] for k in DIGEST_FIELDS if k in bench}
+        if name == "figure_sweep":
+            rate = (f"{bench['speedup']:.2f}x/" f"{bench['jobs']}j")
+            wall = bench["serial_s"] + bench["parallel_s"]
+        else:
+            rate = f"{bench[rate_key]:,.0f}/s"
+            wall = bench["wall_s"]
+        gain = (f"{bench['normalized'] / ref[name] - 1:+8.0%}"
+                if ref.get(name) else f"{'—':>8}")
+        lines.append(f"  {name:<18} {rate:>14} "
+                     f"{bench['normalized']:>11.4f} {gain} "
+                     f"{wall:>8.2f}  {det}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """Entry point for ``repro-bench perf``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench perf",
+        description="Benchmark the simulation engine: event-loop "
+                    "dispatch, fan-in, fabric, end-to-end RPC, and the "
+                    "parallel campaign runner's figure-sweep speedup.")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller bench shapes (CI-sized)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="pool size for the figure-sweep comparison "
+                             "(default 4)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs per microbench; best wall time wins "
+                             "(default 3)")
+    parser.add_argument("--no-sweep", action="store_true",
+                        help="skip the figure-sweep serial-vs-parallel "
+                             "comparison (microbenches only)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full suite document as JSON")
+    parser.add_argument("--digest", action="store_true",
+                        help="emit only the deterministic fields (for "
+                             "byte-for-byte CI diffs)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write the suite document to PATH "
+                             "(the tracked BENCH_perf.json)")
+    parser.add_argument("--check", metavar="PATH",
+                        help="compare against a baseline document; "
+                             "nonzero exit on regression")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed normalized-rate drop vs the "
+                             "baseline (default 0.25)")
+    args = parser.parse_args(argv)
+
+    doc = run_suite(quick=args.quick, jobs=args.jobs, repeat=args.repeat,
+                    sweep=not args.no_sweep)
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    if args.digest:
+        print(json.dumps(digest(doc), indent=2, sort_keys=True))
+    elif args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render(doc))
+
+    sweep = doc["benches"].get("figure_sweep")
+    if sweep is not None and not sweep["identical"]:
+        print("FAILED: parallel figure sweep diverged from serial run",
+              file=sys.stderr)
+        return 1
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        problems = check_regression(doc, baseline,
+                                    tolerance=args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"perf check vs {args.check}: ok "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

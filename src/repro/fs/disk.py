@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Generator
 
 from ..params import StorageParams
-from ..sim import Counter, Resource, Simulator, trace_emit
+from ..sim import Counter, Resource, Simulator
 
 
 class DiskError(RuntimeError):
@@ -44,8 +44,8 @@ class Disk:
         if nbytes < 0:
             raise ValueError(f"negative disk I/O size: {nbytes}")
         if self.sim.tracer is not None:
-            trace_emit(self.sim, self.name, "disk-io-start", op=counter,
-                       bytes=nbytes)
+            self.sim.tracer.emit(self.name, "disk-io-start", op=counter,
+                                 bytes=nbytes)
         attempts = 0
         while True:
             failed = False
@@ -74,5 +74,5 @@ class Disk:
         self.stats.incr(counter)
         self.stats.incr("bytes", nbytes)
         if self.sim.tracer is not None:
-            trace_emit(self.sim, self.name, "disk-io-complete", op=counter,
-                       bytes=nbytes)
+            self.sim.tracer.emit(self.name, "disk-io-complete", op=counter,
+                                 bytes=nbytes)

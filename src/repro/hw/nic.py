@@ -167,8 +167,9 @@ class NIC:
         msg = Message(MsgKind.GM_SEND, self.name, dst, nbytes, port=port,
                       data=data, meta=meta or {})
         self.stats.incr("gm_send")
-        trace_emit(self.sim, self.name, "gm-send", dst=dst, port=port,
-                   bytes=nbytes, msg=msg.msg_id)
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(self.name, "gm-send", dst=dst, port=port,
+                                 bytes=nbytes, msg=msg.msg_id)
         self.sim.process(self._tx(msg, from_host=True, fetch_descriptor=True),
                          name=f"{self.name}.tx")
 
@@ -226,9 +227,10 @@ class NIC:
                       meta=meta)
         self._pending_rdma[msg.msg_id] = {"event": done, "kind": "put"}
         self.stats.incr("rdma_put")
-        trace_emit(self.sim, self.name, "rdma-put", dst=dst,
-                   addr=remote_addr, bytes=nbytes, msg=msg.msg_id,
-                   optimistic=optimistic)
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(self.name, "rdma-put", dst=dst,
+                                 addr=remote_addr, bytes=nbytes,
+                                 msg=msg.msg_id, optimistic=optimistic)
         yield from self._doorbell()
         if span is not None:
             span.mark(self.name, "nic.doorbell", op="rdma-put",
@@ -260,9 +262,10 @@ class NIC:
             "event": done, "kind": "get", "buffer": local_buffer,
         }
         self.stats.incr("rdma_get")
-        trace_emit(self.sim, self.name, "rdma-get", dst=dst,
-                   addr=remote_addr, bytes=nbytes, msg=msg.msg_id,
-                   optimistic=optimistic)
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(self.name, "rdma-get", dst=dst,
+                                 addr=remote_addr, bytes=nbytes,
+                                 msg=msg.msg_id, optimistic=optimistic)
         yield from self._doorbell()
         if span is not None:
             span.mark(self.name, "nic.doorbell", op="rdma-get",
@@ -559,8 +562,9 @@ class NIC:
             self.firmware.release(fw)
         yield self.sim.timeout(self.params.nic.get_turnaround_us)
         self.stats.incr("rdma_get_served")
-        trace_emit(self.sim, self.name, "get-served", initiator=msg.src,
-                   bytes=nbytes, msg=msg.msg_id)
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(self.name, "get-served", initiator=msg.src,
+                                 bytes=nbytes, msg=msg.msg_id)
         span = meta.get("_span")
         if span is not None:
             span.mark(self.name, "ordma.server", bytes=nbytes)

@@ -14,7 +14,7 @@ from typing import Callable, Dict
 import random
 
 from ..params import NetworkParams
-from ..sim import BandwidthPipe, Simulator, trace_emit
+from ..sim import BandwidthPipe, Simulator
 from .packet import Frame
 
 FrameHandler = Callable[[Frame], None]
@@ -89,9 +89,9 @@ class Switch:
         src_port = self._ports[src]
         dst_port = self._ports[frame.dst]
         if self.sim.tracer is not None:
-            trace_emit(self.sim, self.name, "link-tx-start", src=src,
-                       dst=frame.dst, bytes=frame.wire_bytes,
-                       msg=frame.message.msg_id, frame=frame.index)
+            self.sim.tracer.emit(self.name, "link-tx-start", src=src,
+                                 dst=frame.dst, bytes=frame.wire_bytes,
+                                 msg=frame.message.msg_id, frame=frame.index)
         yield src_port.tx.transfer(frame.wire_bytes)
         hop = self.params.switch_us + 2 * self.params.propagation_us
         yield self.sim.timeout(hop)
@@ -114,7 +114,7 @@ class Switch:
         yield dst_port.rx.transfer_cut_through(frame.wire_bytes)
         self.frames_forwarded += 1
         if self.sim.tracer is not None:
-            trace_emit(self.sim, self.name, "link-tx-end", src=src,
-                       dst=frame.dst, bytes=frame.wire_bytes,
-                       msg=frame.message.msg_id, frame=frame.index)
+            self.sim.tracer.emit(self.name, "link-tx-end", src=src,
+                                 dst=frame.dst, bytes=frame.wire_bytes,
+                                 msg=frame.message.msg_id, frame=frame.index)
         dst_port.deliver(frame)

@@ -179,6 +179,12 @@ class TCPConnection:
         self._frames: Store = Store(stack.host.sim)
         #: frame_id -> (segments received, meta-carrying segment)
         self._rx_frames: Dict[int, Tuple[int, Optional[Message]]] = {}
+        #: Per-direction frame sequencing: frames are released to recv()
+        #: strictly in send order, as TCP's byte stream would. A frame that
+        #: lost a segment blocks later frames until its retransmit lands.
+        self._tx_frame_seq = itertools.count()
+        self._rx_next_frame = 0
+        self._rx_ready: Dict[int, Optional[Message]] = {}
         self.retransmissions = 0
 
     # -- congestion window -------------------------------------------------
@@ -261,13 +267,14 @@ class TCPConnection:
         mss = self.stack.mss
         total = max(1, math.ceil(nbytes / mss))
         frame_id = next(self._frame_ids)
+        frame_seq = next(self._tx_frame_seq)
         remaining = nbytes
         procs = []
         for index in range(total):
             chunk = min(mss, remaining) if nbytes else 0
             remaining -= chunk
             seg_meta = {"frame_id": frame_id, "frame_count": total,
-                        "frame_bytes": nbytes}
+                        "frame_bytes": nbytes, "frame_seq": frame_seq}
             if index == total - 1:
                 seg_meta["frame_meta"] = dict(meta or {})
                 seg_meta["frame_data"] = data
@@ -287,7 +294,14 @@ class TCPConnection:
             carrier = msg
         if got == msg.meta.get("frame_count", 1):
             self._rx_frames.pop(frame_id, None)
-            self._frames.put(carrier)
+            seq = msg.meta.get("frame_seq")
+            if seq is None:
+                self._frames.put(carrier)  # unsequenced legacy segment
+                return
+            self._rx_ready[seq] = carrier
+            while self._rx_next_frame in self._rx_ready:
+                self._frames.put(self._rx_ready.pop(self._rx_next_frame))
+                self._rx_next_frame += 1
         else:
             self._rx_frames[frame_id] = (got, carrier)
 

@@ -8,12 +8,34 @@ the process at the yield point (this is how recoverable ORDMA network
 exceptions reach client code).
 
 The kernel is deterministic: simultaneous events fire in schedule order.
+
+Hot-path design notes (every NIC doorbell, link frame, and RPC crosses
+this loop, so per-hop constant factors dominate campaign wall-clock):
+
+* Process bootstrap, already-processed-target relays, and interrupt
+  wakeups all use :class:`_Trampoline` events drawn from a per-simulator
+  free list and recycled right after dispatch — the per-hop allocation
+  churn of the old one-``Event``-per-resume scheme is gone. Trampolines
+  are invisible outside the kernel, so recycling cannot be observed.
+* :meth:`Simulator.schedule_at` is the slim scheduling path: one seq
+  bump and one heap push, no guard re-checks. ``succeed``/``fail``/
+  ``Timeout`` inline their state flips around it.
+* ``run()`` inlines the dispatch loop instead of calling ``step()`` per
+  event (``step()`` remains for single-step use and is semantically
+  identical).
+
+None of this changes event ordering: the (time, seq) heap discipline and
+the points at which seq is drawn are exactly the old ones, so seeded runs
+are bit-identical to the pre-optimization kernel.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
@@ -68,21 +90,31 @@ class Event:
         return self._value
 
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not PENDING and not self._deferred:
             raise SimulationError("event already triggered")
+        if self._scheduled:
+            raise SimulationError("event already scheduled")
         self._value = value
         self._ok = True
-        self.sim._schedule_event(self)
+        self._scheduled = True
+        sim = self.sim
+        sim._seq += 1
+        _heappush(sim._heap, (sim.now, sim._seq, self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
         if not isinstance(exc, BaseException):
             raise SimulationError("fail() requires an exception instance")
-        if self.triggered:
+        if self._value is not PENDING and not self._deferred:
             raise SimulationError("event already triggered")
+        if self._scheduled:
+            raise SimulationError("event already scheduled")
         self._value = exc
         self._ok = False
-        self.sim._schedule_event(self)
+        self._scheduled = True
+        sim = self.sim
+        sim._seq += 1
+        _heappush(sim._heap, (sim.now, sim._seq, self))
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -97,6 +129,18 @@ class Event:
         return f"<{type(self).__name__} {state} at t={self.sim.now:.3f}>"
 
 
+class _Trampoline(Event):
+    """Kernel-internal single-callback event, pooled by the simulator.
+
+    Used for process bootstrap, relays off already-processed targets, and
+    interrupt wakeups. Never handed to model code, so the simulator can
+    reset and reuse the object (and its callback list) immediately after
+    dispatch.
+    """
+
+    __slots__ = ()
+
+
 class Timeout(Event):
     """An event that fires ``delay`` microseconds after creation."""
 
@@ -105,12 +149,17 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
+        # Inlined Event.__init__ + scheduling: timeouts are the kernel's
+        # most-allocated object, one per modeled latency.
+        self.sim = sim
+        self.callbacks = []
         self.delay = delay
         self._value = value
         self._ok = True
+        self._scheduled = True
         self._deferred = True  # fires at now + delay, not now
-        sim._schedule_event(self, delay)
+        sim._seq += 1
+        _heappush(sim._heap, (sim.now + delay, sim._seq, self))
 
     def succeed(self, value: Any = None) -> "Event":
         raise SimulationError("Timeout triggers itself; do not call succeed()")
@@ -135,40 +184,54 @@ class Process(Event):
     process re-raises that exception in the waiter.
     """
 
-    __slots__ = ("_gen", "_waiting_on", "name")
+    __slots__ = ("_gen", "_waiting_on", "name", "_stale")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim)
         self._gen = gen
         self._waiting_on: Optional[Event] = None
+        #: Events this process was interrupted away from; their eventual
+        #: trigger is consumed silently (see :meth:`interrupt`).
+        self._stale: Optional[List[Event]] = None
         self.name = name or getattr(gen, "__name__", "process")
         # Kick off the process at the current simulation time.
-        bootstrap = Event(sim)
-        bootstrap._value = None
-        bootstrap._ok = True
-        bootstrap.add_callback(self._resume)
-        sim._schedule_event(bootstrap)
+        sim._trampoline(self._resume, None, True)
 
     @property
     def is_alive(self) -> bool:
         return not self.triggered
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at its yield point."""
-        if self.triggered:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        The abandoned wait target is *marked stale* rather than scanned
+        out of the target's callback list — interrupting one of N waiters
+        is O(1), not O(N), which is what keeps retry-heavy chaos runs
+        (many timeouts parked on one event) linear. When the stale event
+        eventually fires, the process consumes and ignores it; a failure
+        carried by such an event is dropped with it, since this process
+        explicitly abandoned the wait.
+        """
+        if self._value is not PENDING and not self._deferred:
             raise SimulationError("cannot interrupt a finished process")
-        if self._waiting_on is None:
-            raise SimulationError("cannot interrupt a process that has not started")
         target = self._waiting_on
-        if target.callbacks is not None and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
-        wakeup = Event(self.sim)
-        wakeup._value = Interrupt(cause)
-        wakeup._ok = False
-        wakeup.add_callback(self._resume)
-        self.sim._schedule_event(wakeup)
+        if target is None:
+            raise SimulationError("cannot interrupt a process that has not started")
+        if target.callbacks is not None:
+            if self._stale is None:
+                self._stale = [target]
+            else:
+                self._stale.append(target)
+        self.sim._trampoline(self._resume, Interrupt(cause), False)
 
     def _resume(self, event: Event) -> None:
+        stale = self._stale
+        if stale is not None and event in stale:
+            # An abandoned wait fired after the interrupt; drop it.
+            stale.remove(event)
+            if not stale:
+                self._stale = None
+            return
         self._waiting_on = None
         try:
             if event._ok:
@@ -176,11 +239,11 @@ class Process(Event):
             else:
                 target = self._gen.throw(event._value)
         except StopIteration as stop:
-            if not self.triggered:
+            if self._value is PENDING:
                 self.succeed(stop.value)
             return
         except BaseException as exc:
-            if not self.triggered:
+            if self._value is PENDING:
                 self.fail(exc)
             else:  # pragma: no cover - double fault
                 raise
@@ -190,18 +253,14 @@ class Process(Event):
                 f"process {self.name!r} yielded non-event {target!r}"
             )
             self._gen.close()
-            if not self.triggered:
+            if self._value is PENDING:
                 self.fail(err)
             return
         if target.callbacks is None:
             # Already processed: resume immediately on a fresh trampoline.
-            relay = Event(self.sim)
-            relay._value = target._value
-            relay._ok = target._ok
-            relay.add_callback(self._resume)
-            self.sim._schedule_event(relay)
+            self.sim._trampoline(self._resume, target._value, target._ok)
         else:
-            target.add_callback(self._resume)
+            target.callbacks.append(self._resume)
         self._waiting_on = target
 
 
@@ -213,7 +272,9 @@ class Condition(Event):
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events = list(events)
-        self._pending = 0
+        #: Children whose completion this condition still awaits; counted
+        #: down in ``_check`` so fan-in is O(1) per child trigger.
+        self._pending = len(self.events)
         if not self.events:
             self.succeed({})
             return
@@ -222,7 +283,6 @@ class Condition(Event):
                 # Already triggered: account for it via an immediate check.
                 self._check(ev)
             else:
-                self._pending += 1
                 ev.add_callback(self._check)
 
     def _check(self, event: Event) -> None:  # pragma: no cover - abstract
@@ -238,12 +298,13 @@ class AllOf(Condition):
     __slots__ = ()
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if event._ok is False:
             self.fail(event._value)
             return
-        if all(ev.triggered and ev._ok for ev in self.events):
+        self._pending -= 1
+        if not self._pending:
             self.succeed(self._results())
 
 
@@ -253,11 +314,12 @@ class AnyOf(Condition):
     __slots__ = ()
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if event._ok is False:
             self.fail(event._value)
             return
+        self._pending -= 1
         self.succeed(self._results())
 
 
@@ -269,17 +331,55 @@ class Simulator:
         self._heap: List = []
         self._seq = 0
         self._running = False
+        #: Free list of recycled kernel trampolines (see _Trampoline).
+        self._trampolines: List[_Trampoline] = []
         #: Optional structured-event tracer (see repro.sim.trace.Tracer).
         self.tracer = None
 
     # -- scheduling ------------------------------------------------------
+
+    def schedule_at(self, event: Event, when: float) -> None:
+        """Slim path: push ``event`` to fire at absolute time ``when``.
+
+        No state checks — the caller guarantees the event is untriggered
+        and unscheduled. This is the single place the (time, seq, event)
+        heap entry is built for kernel-internal scheduling.
+        """
+        event._scheduled = True
+        self._seq += 1
+        _heappush(self._heap, (when, self._seq, event))
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         if event._scheduled:
             raise SimulationError("event already scheduled")
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        _heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def _trampoline(self, callback: Callable[[Event], None], value: Any,
+                    ok: bool) -> None:
+        """Schedule ``callback`` for the current time on a pooled event."""
+        pool = self._trampolines
+        if pool:
+            tramp = pool.pop()
+        else:
+            tramp = _Trampoline(self)
+        tramp.callbacks.append(callback)
+        tramp._value = value
+        tramp._ok = ok
+        tramp._scheduled = True
+        self._seq += 1
+        _heappush(self._heap, (self.now, self._seq, tramp))
+
+    def _recycle(self, tramp: "_Trampoline",
+                 callbacks: List[Callable[[Event], None]]) -> None:
+        """Reset a dispatched trampoline (and its list) for reuse."""
+        callbacks.clear()
+        tramp.callbacks = callbacks
+        tramp._value = PENDING
+        tramp._ok = None
+        tramp._scheduled = False
+        self._trampolines.append(tramp)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` microseconds from now."""
@@ -309,16 +409,14 @@ class Simulator:
         ev.add_callback(lambda _e: fn())
         ev._value = None
         ev._ok = True
-        self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, ev))
-        ev._scheduled = True
+        self.schedule_at(ev, when)
         return ev
 
     # -- execution -------------------------------------------------------
 
     def step(self) -> None:
         """Dispatch the single next event."""
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _seq, event = _heappop(self._heap)
         self.now = when
         event._deferred = False
         callbacks, event.callbacks = event.callbacks, None
@@ -327,20 +425,36 @@ class Simulator:
         if event._ok is False and not callbacks:
             # A failed event nobody waited for is a lost error; surface it.
             raise event._value
+        if type(event) is _Trampoline:
+            self._recycle(event, callbacks)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or simulated time reaches ``until``."""
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        heap = self._heap
         try:
-            while self._heap:
-                when = self._heap[0][0]
-                if until is not None and when > until:
+            while heap:
+                entry = heap[0]
+                if until is not None and entry[0] > until:
                     self.now = until
                     return
+                # Inline of step(): one heap pop, dispatch, recycle.
                 try:
-                    self.step()
+                    event = _heappop(heap)[2]
+                    self.now = entry[0]
+                    event._deferred = False
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for fn in callbacks:
+                        fn(event)
+                    if event._ok is False and not callbacks:
+                        # A failed event nobody waited for is a lost
+                        # error; surface it.
+                        raise event._value
+                    if type(event) is _Trampoline:
+                        self._recycle(event, callbacks)
                 except StopSimulation:
                     return
         finally:

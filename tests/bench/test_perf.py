@@ -1,0 +1,112 @@
+"""The engine perf suite: document shape, deterministic digest, and the
+normalized regression gate."""
+
+import copy
+
+import pytest
+
+from repro.bench import perf
+
+
+@pytest.fixture(scope="module")
+def suite_doc():
+    return perf.run_suite(quick=True, repeat=1, sweep=False)
+
+
+class TestRunSuite:
+    def test_document_shape(self, suite_doc):
+        assert suite_doc["schema"] == perf.SCHEMA_VERSION
+        assert suite_doc["quick"] is True
+        assert suite_doc["calibration_ops_per_s"] > 0
+        assert suite_doc["host"]["cpu_count"] >= 1
+        assert set(perf.BENCHES) <= set(suite_doc["benches"])
+
+    def test_rates_and_normalization(self, suite_doc):
+        calib = suite_doc["calibration_ops_per_s"]
+        for name, (fn, rate_key) in perf.BENCHES.items():
+            bench = suite_doc["benches"][name]
+            assert bench["wall_s"] > 0
+            assert bench[rate_key] > 0
+            assert bench["normalized"] == pytest.approx(
+                bench[rate_key] / calib)
+
+    def test_reference_trajectory_embedded(self, suite_doc):
+        # BENCH_perf.json must always carry the pre-optimization numbers
+        # so the before/after story survives regeneration.
+        ref = suite_doc["reference_seed_kernel"]
+        assert set(perf.BENCHES) <= set(ref)
+        assert all(v > 0 for v in ref.values())
+
+
+class TestDigest:
+    def test_digest_is_deterministic(self, suite_doc):
+        again = perf.run_suite(quick=True, repeat=1, sweep=False)
+        assert perf.digest(suite_doc) == perf.digest(again)
+
+    def test_digest_excludes_timing(self, suite_doc):
+        flat = str(perf.digest(suite_doc))
+        assert "wall_s" not in flat
+        assert "normalized" not in flat
+
+
+class TestCheckRegression:
+    def _docs(self, suite_doc):
+        return copy.deepcopy(suite_doc), copy.deepcopy(suite_doc)
+
+    def test_identical_docs_pass(self, suite_doc):
+        doc, base = self._docs(suite_doc)
+        assert perf.check_regression(doc, base) == []
+
+    def test_small_drop_within_tolerance(self, suite_doc):
+        doc, base = self._docs(suite_doc)
+        doc["benches"]["kernel_events"]["normalized"] *= 0.9
+        assert perf.check_regression(doc, base, tolerance=0.25) == []
+
+    def test_large_drop_fails(self, suite_doc):
+        doc, base = self._docs(suite_doc)
+        doc["benches"]["kernel_events"]["normalized"] *= 0.5
+        problems = perf.check_regression(doc, base, tolerance=0.25)
+        assert problems and "kernel_events" in problems[0]
+
+    def test_schema_mismatch_fails(self, suite_doc):
+        doc, base = self._docs(suite_doc)
+        base["schema"] = perf.SCHEMA_VERSION - 1
+        problems = perf.check_regression(doc, base)
+        assert problems and "schema" in problems[0]
+
+    def test_new_bench_without_baseline_is_skipped(self, suite_doc):
+        doc, base = self._docs(suite_doc)
+        doc["benches"]["brand_new"] = {"normalized": 0.0001,
+                                       "rate_key": "x_per_s"}
+        assert perf.check_regression(doc, base) == []
+
+    def test_diverged_sweep_fails(self, suite_doc):
+        doc, base = self._docs(suite_doc)
+        for d in (doc, base):
+            d["benches"]["figure_sweep"] = {
+                "normalized": 1.0, "rate_key": "speedup",
+                "identical": True, "jobs": 2}
+        doc["benches"]["figure_sweep"]["identical"] = False
+        problems = perf.check_regression(doc, base)
+        assert problems and "determinism" in problems[0]
+
+
+class TestCli:
+    def test_digest_output_and_exit_code(self, capsys):
+        assert perf.main(["--quick", "--repeat", "1", "--no-sweep",
+                          "--digest"]) == 0
+        out = capsys.readouterr().out
+        assert '"kernel_events"' in out and '"wall_s"' not in out
+
+    def test_check_against_own_output(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_perf.json"
+        assert perf.main(["--quick", "--repeat", "1", "--no-sweep",
+                          "--out", str(out_path)]) == 0
+        assert perf.main(["--quick", "--repeat", "1", "--no-sweep",
+                          "--check", str(out_path),
+                          "--tolerance", "0.9"]) == 0
+
+    def test_render_mentions_reference_gain(self, capsys):
+        assert perf.main(["--quick", "--repeat", "1", "--no-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "vs seed" in out

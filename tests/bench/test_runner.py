@@ -1,0 +1,108 @@
+"""The parallel campaign runner: ordering, seeding, and the byte-identity
+guarantee — campaign output must not depend on the job count."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import chaos, figures
+from repro.bench.runner import (JOBS_ENV, default_jobs, derive_seed,
+                                run_points)
+
+
+def _square(x):
+    return x * x
+
+
+def _spec_tag(spec):
+    return f"{spec[0]}:{spec[1]}"
+
+
+class TestRunPoints:
+    def test_serial_preserves_order(self):
+        assert run_points(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_preserves_order(self):
+        points = list(range(20))
+        assert run_points(_square, points, jobs=4) == [p * p for p in points]
+
+    def test_parallel_matches_serial(self):
+        points = [("dafs", 4), ("nfs", 64), ("odafs", 256)]
+        assert (run_points(_spec_tag, points, jobs=3)
+                == run_points(_spec_tag, points, jobs=1))
+
+    def test_single_point_stays_in_process(self):
+        # len(points) <= 1 must not spin up a pool at all.
+        state = []
+        run_points(state.append, [42], jobs=8)
+        assert state == [42]
+
+    def test_empty_points(self):
+        assert run_points(_square, [], jobs=4) == []
+
+
+class TestDefaultJobs:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert default_jobs() == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "6")
+        assert default_jobs() == 6
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        assert default_jobs() == 1
+
+    def test_env_floor_is_one(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "0")
+        assert default_jobs() == 1
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(7, "fig3") == derive_seed(7, "fig3")
+
+    def test_distinct_per_name_and_seed(self):
+        seeds = {derive_seed(7, "fig3"), derive_seed(7, "fig5"),
+                 derive_seed(8, "fig3")}
+        assert len(seeds) == 3
+
+    def test_fits_in_63_bits(self):
+        assert 0 <= derive_seed(123456, "x") < 2 ** 63
+
+
+class TestCampaignByteIdentity:
+    """--jobs N output must be byte-identical to --jobs 1 (ISSUE
+    acceptance: fixed seed, any job count, same JSON)."""
+
+    def _canon(self, obj):
+        return json.dumps(obj, indent=2, sort_keys=True, default=str)
+
+    def test_fig3_sweep(self):
+        kwargs = dict(block_sizes_kb=(4, 64), blocks_per_point=16)
+        serial = figures.fig3_fig4(jobs=1, **kwargs)
+        parallel = figures.fig3_fig4(jobs=2, **kwargs)
+        assert self._canon(serial) == self._canon(parallel)
+
+    def test_table3(self):
+        kwargs = dict(n_blocks=32, measure_blocks=16)
+        serial = figures.table3_response_time(jobs=1, **kwargs)
+        parallel = figures.table3_response_time(jobs=3, **kwargs)
+        assert self._canon(serial) == self._canon(parallel)
+
+    def test_chaos_grid(self):
+        kwargs = dict(systems=("dafs",), fault_classes=("link", "nic"),
+                      rates=(0.0, 0.02), blocks=16, passes=1)
+        serial = chaos.chaos_campaign(jobs=1, **kwargs)
+        parallel = chaos.chaos_campaign(jobs=2, **kwargs)
+        assert self._canon(serial) == self._canon(parallel)
+
+    def test_jobs_env_does_not_change_results(self, monkeypatch):
+        kwargs = dict(block_sizes_kb=(4,), blocks_per_point=16)
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        serial = figures.fig3_fig4(**kwargs)
+        monkeypatch.setenv(JOBS_ENV, "2")
+        parallel = figures.fig3_fig4(**kwargs)
+        assert self._canon(serial) == self._canon(parallel)

@@ -63,6 +63,12 @@ def test_examples_are_documented():
                                            '"""')), script
 
 
+def test_profile_hotpath():
+    out = run_example("profile_hotpath.py")
+    assert "kernel events" in out
+    assert "cumulative" in out  # pstats table header
+
+
 def test_tracing_analysis():
     out = run_example("tracing_analysis.py")
     assert "event counts" in out
