@@ -6,8 +6,12 @@ workload through a server under memory pressure, and analyzes the event
 stream: how many RPCs vs ORDMA gets, which faults occurred and why, and a
 timeline excerpt around the first fault. Then folds the request *spans*
 the same run collected into per-path waterfalls — where each 4 KB read
-spent its time, stage by stage. Dumps the full trace (events + spans) to
-JSONL for external tooling.
+spent its time, stage by stage. A continuous-telemetry sampler rides
+along, so the run also yields time-series gauges (server CPU by
+category, cache occupancy, link utilization). Dumps the full trace
+(events + spans) to JSONL for external tooling and exports everything —
+spans, events, and the gauge series as counter tracks — as a
+Chrome/Perfetto Trace Event Format file to open in ui.perfetto.dev.
 
 Run:  python examples/tracing_analysis.py
 """
@@ -15,6 +19,7 @@ Run:  python examples/tracing_analysis.py
 import tempfile
 
 from repro import KB, default_params
+from repro.bench.traceexport import dump_perfetto
 from repro.bench.tracecli import render_waterfall
 from repro.cluster import Cluster
 from repro.nas.server.vm_pressure import MemoryPressure
@@ -39,6 +44,8 @@ def main():
                               interval_us=8_000.0,
                               rng=cluster.rand.stream("demo"))
     pressure.start(stop_on=proc)
+    sampler = cluster.attach_sampler(interval_us=50.0)
+    sampler.start(stop_on=proc)
     cluster.sim.run()
 
     counts = tracer.counts()
@@ -70,6 +77,13 @@ def main():
         print()
         print(render_waterfall(span))
 
+    print(f"\ntelemetry: {sampler.ticks} samples x {len(sampler)} series")
+    for name in ("server.cpu.util", "server.cpu.util.copy",
+                 "server.cache.blocks", "net.server.tx_util"):
+        series = sampler.series[name]
+        print(f"  {name:<22} mean {series.mean():8.3f} "
+              f"last {series.last:8.3f}")
+
     with tempfile.NamedTemporaryFile(suffix=".jsonl",
                                      delete=False) as fh:
         path = fh.name
@@ -78,6 +92,16 @@ def main():
     print(f"ring buffer: emitted={tracer.emitted} dropped={tracer.dropped}")
     print("(re-analyze it any time: repro-bench trace --input "
           f"{path})")
+
+    with tempfile.NamedTemporaryFile(suffix=".json",
+                                     delete=False) as fh:
+        perfetto = fh.name
+    rows = dump_perfetto(perfetto, events=list(tracer),
+                         spans=tracer.finished_spans(), series=sampler)
+    print(f"perfetto export ({rows} trace events, counter tracks "
+          f"included) written to {perfetto}")
+    print("(open it at https://ui.perfetto.dev, or validate: "
+          f"python -m repro.bench.traceexport {perfetto})")
 
 
 if __name__ == "__main__":

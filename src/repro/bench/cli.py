@@ -204,6 +204,10 @@ def main(argv=None) -> int:
         # Engine microbenchmarks and the tracked perf trajectory.
         from .perf import main as perf_main
         return perf_main(list(argv[1:]))
+    if argv and argv[0] == "telemetry":
+        # Continuous-telemetry timelines and cross-system comparisons.
+        from .telemetry import main as telemetry_main
+        return telemetry_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -211,10 +215,12 @@ def main(argv=None) -> int:
                     "Extra subcommands: 'trace' analyzes end-to-end "
                     "request spans, 'chaos' runs fault-injection "
                     "degradation campaigns, 'perf' benchmarks the "
-                    "simulation engine itself (repro-bench perf --help).")
+                    "simulation engine itself, 'telemetry' renders "
+                    "sampled gauge timelines (repro-bench perf --help).")
     parser.add_argument("target", choices=list(TARGETS) + ["all"],
-                        help="which table/figure to regenerate "
-                             "(or 'trace'/'chaos'/'perf' subcommands)")
+                        help="which table/figure to regenerate (or "
+                             "'trace'/'chaos'/'perf'/'telemetry' "
+                             "subcommands)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller workloads (same shapes, faster)")
     parser.add_argument("--seed", type=int, default=None,

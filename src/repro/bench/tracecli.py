@@ -25,7 +25,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster import SYSTEMS, Cluster
 from ..params import KB, Params, default_params
-from ..sim import LatencyStats, Span, Tracer, load_jsonl
+from ..sim import (LatencyStats, SimulationError, Span, Tracer, load_jsonl)
+from ..sim.timeseries import window_mean
+from . import traceexport
 
 #: Order in which data paths are reported.
 PATH_ORDER = ("rpc", "rdma", "ordma", "ordma-fallback", "local")
@@ -40,14 +42,19 @@ _WATERFALL_WIDTH = 44
 def run_workload(system: str = "odafs", blocks: int = 64,
                  block_kb: int = 4, passes: int = 2,
                  fault_blocks: int = 4,
-                 params: Optional[Params] = None) -> Dict[str, Any]:
+                 params: Optional[Params] = None,
+                 sample_interval_us: Optional[float] = None
+                 ) -> Dict[str, Any]:
     """Run the Table 3-style small-I/O microbenchmark with tracing on.
 
     A file warm in the server cache is read ``passes`` times in
     ``block_kb`` KB increments through a small (8-block) client cache.
     For ODAFS, ``fault_blocks`` server cache blocks are invalidated
     between the passes so the optimistic path demonstrably faults and
-    falls back to RPC. Returns the cluster, tracer and response meter.
+    falls back to RPC. ``sample_interval_us`` additionally attaches the
+    cluster's continuous-telemetry sampler at that sim-time interval.
+    Returns the cluster, tracer, response meter, and sampler (``None``
+    when telemetry is off).
     """
     if system not in SYSTEMS:
         raise ValueError(f"unknown system {system!r}; one of {SYSTEMS}")
@@ -77,8 +84,19 @@ def run_workload(system: str = "odafs", blocks: int = 64,
                 yield from client.read("micro", i * block, block)
                 meter.record(cluster.sim.now - start)
 
-    cluster.sim.run_process(main())
-    return {"cluster": cluster, "tracer": tracer, "meter": meter}
+    proc = cluster.sim.process(main())
+    sampler = None
+    if sample_interval_us is not None:
+        sampler = cluster.attach_sampler(interval_us=sample_interval_us)
+        sampler.start(stop_on=proc)
+    cluster.sim.run()
+    if not proc.triggered:
+        raise SimulationError(
+            f"workload did not finish by t={cluster.sim.now}")
+    if not proc.ok:
+        raise proc.value
+    return {"cluster": cluster, "tracer": tracer, "meter": meter,
+            "sampler": sampler}
 
 
 # ---------------------------------------------------------------------------
@@ -116,6 +134,197 @@ def span_sum_mean(spans: Sequence[Span]) -> float:
 def _sorted_paths(keys) -> List[str]:
     order = {p: i for i, p in enumerate(PATH_ORDER)}
     return sorted(keys, key=lambda p: (order.get(p, len(order)), p))
+
+
+# ---------------------------------------------------------------------------
+# Critical-path attribution: service time vs. queueing wait
+# ---------------------------------------------------------------------------
+
+def service_floors(spans: Sequence[Span]) -> Dict[Tuple[str, str], float]:
+    """Estimated pure service time per (path, stage).
+
+    Each mark interval is service time plus whatever queueing the request
+    suffered in that stage; the *minimum* interval observed across all
+    spans of the same path is the contention-free floor (some request got
+    through without waiting), so anything above it is attributed to
+    queueing. The same decomposition a production profiler applies when
+    it subtracts the uncontended baseline from a stage's latency.
+    """
+    floors: Dict[Tuple[str, str], float] = {}
+    for span in spans:
+        for stage, _component, _start, dur in span.stages():
+            key = (span.path, stage)
+            if key not in floors or dur < floors[key]:
+                floors[key] = dur
+    return floors
+
+
+class StageSplit:
+    """Aggregated service/wait split for one (path, stage)."""
+
+    __slots__ = ("stage", "floor", "occurrences", "service", "wait")
+
+    def __init__(self, stage: str, floor: float):
+        self.stage = stage
+        self.floor = floor
+        self.occurrences = 0
+        self.service = LatencyStats(f"{stage}.service")
+        self.wait = LatencyStats(f"{stage}.wait")
+
+
+def critical_path(spans: Sequence[Span]
+                  ) -> Dict[str, Dict[str, StageSplit]]:
+    """{path: {stage: StageSplit}} with per-span service/wait samples.
+
+    For every span, each stage's total time splits into ``floor ×
+    occurrences`` of service and the remainder of queueing wait; the two
+    per-stage sums reconcile with ``span.duration`` exactly by
+    construction (verified by :func:`critical_path_consistency`).
+    """
+    floors = service_floors(spans)
+    tables: Dict[str, Dict[str, StageSplit]] = {}
+    for span in spans:
+        splits = tables.setdefault(span.path, {})
+        totals: Dict[str, Tuple[float, int]] = {}
+        for stage, _component, _start, dur in span.stages():
+            total, count = totals.get(stage, (0.0, 0))
+            totals[stage] = (total + dur, count + 1)
+        for stage, (total, count) in totals.items():
+            split = splits.get(stage)
+            if split is None:
+                split = splits[stage] = StageSplit(
+                    stage, floors[(span.path, stage)])
+            service = split.floor * count
+            split.occurrences += count
+            split.service.record(service)
+            split.wait.record(max(0.0, total - service))
+    return tables
+
+
+def critical_path_consistency(spans: Sequence[Span]) -> float:
+    """Max absolute error |Σ stage (service+wait) − duration| over spans.
+
+    The acceptance bar for the attribution: per-span sums must reconcile
+    with the span's end-to-end duration within float tolerance.
+    """
+    floors = service_floors(spans)
+    worst = 0.0
+    for span in spans:
+        totals: Dict[str, Tuple[float, int]] = {}
+        for stage, _component, _start, dur in span.stages():
+            total, count = totals.get(stage, (0.0, 0))
+            totals[stage] = (total + dur, count + 1)
+        attributed = 0.0
+        for stage, (total, count) in totals.items():
+            service = floors[(span.path, stage)] * count
+            attributed += service + max(0.0, total - service)
+        worst = max(worst, abs(attributed - span.duration))
+    return worst
+
+
+#: A sampler series is a utilization fraction (comparable across
+#: resources) iff its name ends with one of these.
+_UTIL_SUFFIXES = (".util", "_util")
+
+
+def dominant_resources(spans: Sequence[Span],
+                       series: Any) -> Dict[str, Tuple[str, float]]:
+    """{path: (series name, mean util)} — the busiest utilization-type
+    sampler series over each path's span time envelope. Empty without
+    telemetry (e.g. ``--input`` mode)."""
+    items = traceexport._series_items(series)
+    candidates = [(name, points) for name, points in items
+                  if name.endswith(_UTIL_SUFFIXES)]
+    if not candidates:
+        return {}
+    envelopes: Dict[str, Tuple[float, float]] = {}
+    for span in spans:
+        t0, t1 = envelopes.get(span.path, (float("inf"), 0.0))
+        envelopes[span.path] = (min(t0, span.start_ts),
+                                max(t1, span.end_ts))
+    out: Dict[str, Tuple[str, float]] = {}
+    for path, (t0, t1) in envelopes.items():
+        best: Optional[Tuple[str, float]] = None
+        for name, points in candidates:
+            mean = window_mean(points, t0, t1)
+            if mean is None:
+                continue
+            if best is None or mean > best[1]:
+                best = (name, mean)
+        if best is not None:
+            out[path] = best
+    return out
+
+
+def render_critical_path(
+        tables: Dict[str, Dict[str, StageSplit]],
+        dominant: Dict[str, Tuple[str, float]],
+        consistency_us: float, n_spans: int,
+        tolerance_us: float = 1e-6) -> Tuple[str, bool]:
+    """The "where did p50/p95/p99 go" tables; returns (text, ok)."""
+    lines: List[str] = []
+    for path in _sorted_paths(tables):
+        splits = tables[path]
+        n = max(s.service.count for s in splits.values())
+        header = f"path={path} ({n} spans)"
+        resource = dominant.get(path)
+        if resource is not None:
+            header += (f"   dominant resource: {resource[0]} "
+                       f"(mean util {resource[1]:.2f})")
+        lines.append(header)
+        lines.append(f"  {'stage':<16} {'count':>5} {'occ':>5} "
+                     f"{'svc mean':>9} {'wait mean':>9} {'wait p50':>9} "
+                     f"{'wait p95':>9} {'wait p99':>9} {'wait%':>6}")
+        path_service = sum(s.service.mean * s.service.count
+                           for s in splits.values()) / n
+        path_wait = sum(s.wait.mean * s.wait.count
+                        for s in splits.values()) / n
+        path_total = path_service + path_wait
+        for stage, split in sorted(
+                splits.items(),
+                key=lambda kv: -(kv[1].service.mean + kv[1].wait.mean)):
+            share = (split.wait.mean * split.wait.count / n / path_total
+                     if path_total else 0.0)
+            lines.append(
+                f"  {stage:<16} {split.service.count:>5} "
+                f"{split.occurrences:>5} {split.service.mean:>9.2f} "
+                f"{split.wait.mean:>9.2f} "
+                f"{split.wait.percentile(50):>9.2f} "
+                f"{split.wait.percentile(95):>9.2f} "
+                f"{split.wait.percentile(99):>9.2f} {share:>6.1%}")
+        service_share = path_service / path_total if path_total else 0.0
+        lines.append(f"  per span: {path_total:.2f}us mean = "
+                     f"{path_service:.2f}us service "
+                     f"({service_share:.1%}) + {path_wait:.2f}us wait")
+    ok = consistency_us <= tolerance_us
+    lines.append(f"reconciliation: max |attributed - duration| = "
+                 f"{consistency_us:.3e} us over {n_spans} spans "
+                 + ("[OK]" if ok else "[MISMATCH]"))
+    return "\n".join(lines), ok
+
+
+def critical_path_json(
+        tables: Dict[str, Dict[str, StageSplit]],
+        dominant: Dict[str, Tuple[str, float]]) -> Dict[str, Any]:
+    """JSON-friendly view of :func:`critical_path`."""
+    out: Dict[str, Any] = {}
+    for path, splits in tables.items():
+        resource = dominant.get(path)
+        out[path] = {
+            "dominant_resource": resource[0] if resource else None,
+            "dominant_util": resource[1] if resource else None,
+            "stages": {
+                stage: {
+                    "count": split.service.count,
+                    "occurrences": split.occurrences,
+                    "service_floor_us": split.floor,
+                    "service": split.service.summary(),
+                    "wait": split.wait.summary(),
+                }
+                for stage, split in splits.items()
+            },
+        }
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -268,6 +477,19 @@ def main(argv=None) -> int:
                         help="number of read passes over the file")
     parser.add_argument("--dump", metavar="PATH",
                         help="also write the raw trace as JSONL")
+    parser.add_argument("--perfetto", metavar="PATH",
+                        help="export spans + events + telemetry as "
+                             "Chrome/Perfetto Trace Event Format JSON")
+    parser.add_argument("--timeseries", metavar="PATH",
+                        help="also write the sampled time series as "
+                             "JSONL (live mode)")
+    parser.add_argument("--critical-path", action="store_true",
+                        help="print the service-vs-queueing attribution "
+                             "table per path class")
+    parser.add_argument("--sample-interval", type=float, default=50.0,
+                        metavar="US",
+                        help="telemetry sampling interval in sim-us "
+                             "(default 50)")
     parser.add_argument("--waterfalls", type=int, default=3,
                         help="how many span waterfalls to print")
     parser.add_argument("--quick", action="store_true",
@@ -282,6 +504,7 @@ def main(argv=None) -> int:
 
     meter = None
     cluster = None
+    sampler = None
     if args.input:
         try:
             dump = load_jsonl(args.input)
@@ -293,22 +516,44 @@ def main(argv=None) -> int:
                  f"{dump.dropped} dropped)"
     else:
         blocks = 16 if args.quick else args.blocks
+        # Telemetry rides along only when an output needs it, so the
+        # default trace run stays event-for-event identical to the seed.
+        want_sampler = bool(args.perfetto or args.timeseries
+                            or args.critical_path)
         live = run_workload(system=args.system, blocks=blocks,
                             block_kb=args.block_kb, passes=args.passes,
-                            params=params)
+                            params=params,
+                            sample_interval_us=(args.sample_interval
+                                                if want_sampler else None))
         cluster = live["cluster"]
         tracer = live["tracer"]
         meter = live["meter"]
+        sampler = live["sampler"]
         if args.dump:
             tracer.dump_jsonl(args.dump)
+        if args.timeseries and sampler is not None:
+            sampler.dump_jsonl(args.timeseries)
         events = list(tracer)
         spans = tracer.finished_spans()
         source = (f"live {args.system}, {blocks}x{args.block_kb}KB reads "
                   f"x{args.passes} passes")
 
+    if args.perfetto:
+        traceexport.dump_perfetto(args.perfetto, events=events,
+                                  spans=spans, series=sampler)
+
     read_spans = [s for s in spans if s.op == "read"]
     tables = stage_tables(read_spans)
     mix = path_mix(read_spans)
+
+    cp_tables = cp_dominant = None
+    cp_error = 0.0
+    cp_ok = True
+    if args.critical_path:
+        cp_tables = critical_path(read_spans)
+        cp_dominant = dominant_resources(read_spans, sampler)
+        cp_error = critical_path_consistency(read_spans)
+        cp_ok = cp_error <= 1e-6
 
     if args.json:
         out: Dict[str, Any] = {
@@ -322,8 +567,12 @@ def main(argv=None) -> int:
         if meter is not None:
             out["meter_mean_us"] = meter.mean
             out["span_sum_mean_us"] = span_sum_mean(read_spans)
+        if cp_tables is not None:
+            out["critical_path"] = critical_path_json(cp_tables,
+                                                      cp_dominant)
+            out["critical_path_max_error_us"] = cp_error
         print(json.dumps(out, indent=2, default=str))
-        return 0
+        return 0 if cp_ok else 1
 
     print(f"Trace analysis — {source}")
     print(f"\n== Path mix ({len(read_spans)} read spans) ==")
@@ -332,6 +581,12 @@ def main(argv=None) -> int:
 
     print("\n== Per-stage latency by path (us) ==")
     print(render_stage_tables(tables))
+
+    if cp_tables is not None:
+        print("\n== Critical path: service vs queueing wait (us) ==")
+        text, cp_ok = render_critical_path(cp_tables, cp_dominant,
+                                           cp_error, len(read_spans))
+        print(text)
 
     print("\n== Span waterfalls ==")
     for span in _select_waterfalls(read_spans, args.waterfalls):
@@ -355,7 +610,7 @@ def main(argv=None) -> int:
               + ("  [OK <1%]" if delta < 1.0 else "  [MISMATCH]"))
         if delta >= 1.0:
             return 1
-    return 0
+    return 0 if cp_ok else 1
 
 
 if __name__ == "__main__":

@@ -32,8 +32,10 @@ from .nas.client.odafs import ODAFSClient
 from .nas.server.filecache import ServerFileCache
 from .nas.server.server import DAFSServer, NFSServer, ODAFSServer
 from .net.link import Switch
+from .net.packet import reset_msg_ids
 from .params import Params, default_params
-from .sim import MetricsRegistry, RandomStreams, Simulator
+from .sim import (MetricsRegistry, RandomStreams, Simulator,
+                  TimeSeriesSampler)
 
 SYSTEMS = ("nfs", "nfs-prepost", "nfs-remap", "nfs-hybrid", "dafs", "odafs")
 
@@ -53,6 +55,9 @@ class Cluster:
             raise ValueError(f"unknown system {system!r}; one of {SYSTEMS}")
         self.params = params or default_params()
         self.system = system
+        # Fresh message-id space per cluster: same-seed runs must stay
+        # byte-identical even when one process wires several clusters.
+        reset_msg_ids()
         self.sim = Simulator()
         self.rand = RandomStreams(self.params.seed)
         # The switch draws loss decisions from a named stream of the
@@ -93,6 +98,8 @@ class Cluster:
         #: One hierarchical read-out over every component's instruments.
         self.metrics = MetricsRegistry()
         self._register_metrics()
+        #: Continuous telemetry; ``None`` until :meth:`attach_sampler`.
+        self.sampler: Optional[TimeSeriesSampler] = None
 
     def _register_metrics(self) -> None:
         reg = self.metrics
@@ -111,6 +118,43 @@ class Cluster:
             cache = getattr(client, "cache", None)
             if cache is not None and hasattr(cache, "stats"):
                 reg.register(f"client{i}.cache", cache.stats)
+
+    def attach_sampler(self, interval_us: float = 50.0,
+                       capacity: int = 8192) -> TimeSeriesSampler:
+        """Wire a :class:`~repro.sim.TimeSeriesSampler` over every
+        component's gauges, under the registry's dotted naming scheme.
+
+        Telemetry stays off by default — this only builds the probe set
+        and registers it on :attr:`metrics` as ``timeseries``; sampling
+        begins when the caller invokes ``sampler.start(stop_on=proc)``
+        around the measured workload. Can be attached at most once.
+        """
+        if self.sampler is not None:
+            raise RuntimeError("sampler already attached")
+        sampler = TimeSeriesSampler(self.sim, interval_us=interval_us,
+                                    capacity=capacity)
+        sampler.probe_many("server.cpu", self.server_host.cpu.gauges())
+        sampler.probe_many("server.nic", self.server_host.nic.gauges())
+        sampler.probe_many("server.cache", self.cache.gauges())
+        sampler.probe_many("server.rpc", self.server.rpc.gauges())
+        sampler.probe_many("net.server", self.server_host.nic.port.gauges())
+        for i, (host, client) in enumerate(zip(self.client_hosts,
+                                               self.clients)):
+            prefix = f"client{i}"
+            sampler.probe_many(f"{prefix}.cpu", host.cpu.gauges())
+            sampler.probe_many(f"{prefix}.nic", host.nic.gauges())
+            sampler.probe_many(f"{prefix}.rpc", client.rpc.gauges())
+            ordma = getattr(client, "ordma", None)
+            if ordma is not None:
+                sampler.probe_many(f"{prefix}.ordma", ordma.gauges())
+            directory = getattr(client, "directory", None)
+            if directory is not None:
+                sampler.probe_many(f"{prefix}.dir", directory.gauges())
+            sampler.probe_many(f"net.{prefix}", host.nic.port.gauges())
+        sampler.probe_many("net.switch", self.switch.gauges())
+        self.metrics.register("timeseries", sampler)
+        self.sampler = sampler
+        return sampler
 
     def _make_client(self, host: Host, kwargs: Dict):
         if self.system == "nfs":

@@ -10,10 +10,10 @@ service quanta of the modelled code paths.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Callable, Dict, Generator
 
 from ..params import HostParams
-from ..sim import BusyTracker, Resource, Simulator
+from ..sim import BusyTracker, Resource, Simulator, rate_probe
 
 #: Priority levels (lower value is served first).
 PRIO_INTERRUPT = 0
@@ -100,3 +100,27 @@ class CPU:
 
     def utilization(self) -> float:
         return self.busy.window_utilization()
+
+    def gauges(self) -> Dict[str, Callable[[], float]]:
+        """Telemetry probes for a :class:`~repro.sim.TimeSeriesSampler`.
+
+        Windowed utilization (busy-us rate over the sampling interval),
+        total and split into the paper's Fig. 4 accounting: data copies,
+        interrupt handling, and everything else (protocol + kernel work).
+        """
+        busy = self.busy
+        cats = busy.by_category
+
+        def other() -> float:
+            return (busy.busy_us - cats.get("copy", 0.0)
+                    - cats.get("interrupt", 0.0))
+
+        return {
+            "util": rate_probe(self.sim, lambda: busy.busy_us),
+            "util.copy": rate_probe(self.sim,
+                                    lambda: cats.get("copy", 0.0)),
+            "util.interrupt": rate_probe(self.sim,
+                                         lambda: cats.get("interrupt", 0.0)),
+            "util.proto": rate_probe(self.sim, other),
+            "queue": lambda: float(self._core.queue_len),
+        }

@@ -22,7 +22,8 @@ from typing import Any, Callable, Deque, Dict, Generator, Optional
 from ..net.link import Switch
 from ..net.packet import Frame, Message, MsgKind, Reassembler, fragment
 from ..params import Params
-from ..sim import Counter, Event, Resource, Simulator, Store, trace_emit
+from ..sim import (Counter, Event, Resource, Simulator, Store, rate_probe,
+                   trace_emit)
 from .cpu import CPU
 from .memory import Buffer
 from .pci import PCIBus
@@ -130,6 +131,19 @@ class NIC:
         #: runs set it so lost frames surface as recoverable
         #: :class:`RemoteAccessFault` (TIMEOUT) instead of hangs.
         self.rdma_timeout_us: Optional[float] = None
+
+    def gauges(self) -> Dict[str, Callable[[], float]]:
+        """Telemetry probes for a :class:`~repro.sim.TimeSeriesSampler`:
+        firmware queue depth (doorbell-serialized per-frame work, queued
+        plus in service), outstanding initiator-side RDMA operations, and
+        DMA bandwidth over the sampling window (B/µs == MB/s)."""
+        return {
+            "fw_queue": lambda: float(self.firmware.queue_len
+                                      + self.firmware.count),
+            "rdma_outstanding": lambda: float(len(self._pending_rdma)),
+            "dma_mb_s": rate_probe(
+                self.sim, lambda: float(self.stats.get("dma_bytes"))),
+        }
 
     def _doorbell(self) -> Generator:
         """Ring a doorbell: the PIO cost plus any injected firmware stall."""

@@ -74,3 +74,13 @@ class ORDMADirectory:
         hits = self.stats.get("hits")
         total = hits + self.stats.get("misses")
         return hits / total if total else 0.0
+
+    def gauges(self):
+        """Telemetry probes for a :class:`~repro.sim.TimeSeriesSampler`:
+        resident reference count and cumulative invalidations (lazy drops
+        after server-NIC faults)."""
+        return {
+            "size": lambda: float(len(self._refs)),
+            "invalidations": lambda: float(
+                self.stats.get("invalidations")),
+        }

@@ -18,7 +18,7 @@ from ...hw.host import Host
 from ...hw.memory import Buffer, AddressSpace
 from ...hw.tpt import Segment
 from ...proto.ordma import RemoteRef
-from ...sim import Counter
+from ...sim import Counter, ratio_probe
 
 BlockKey = Tuple[str, int]
 
@@ -153,3 +153,15 @@ class ServerFileCache:
         hits = self.stats.get("hits")
         total = hits + self.stats.get("misses")
         return hits / total if total else 0.0
+
+    def gauges(self):
+        """Telemetry probes for a :class:`~repro.sim.TimeSeriesSampler`:
+        resident block count and hit rate over the sampling window (not
+        the cumulative :meth:`hit_ratio`)."""
+        stats = self.stats
+        return {
+            "blocks": lambda: float(len(self._blocks)),
+            "hit_rate": ratio_probe(
+                lambda: float(stats.get("hits")),
+                lambda: float(stats.get("hits") + stats.get("misses"))),
+        }

@@ -14,7 +14,7 @@ from typing import Callable, Dict
 import random
 
 from ..params import NetworkParams
-from ..sim import BandwidthPipe, Simulator
+from ..sim import BandwidthPipe, Simulator, rate_probe
 from .packet import Frame
 
 FrameHandler = Callable[[Frame], None]
@@ -36,6 +36,17 @@ class NetworkPort:
 
     def deliver(self, frame: Frame) -> None:
         self._handler(frame)
+
+    def gauges(self) -> Dict[str, Callable[[], float]]:
+        """Telemetry probes for a :class:`~repro.sim.TimeSeriesSampler`:
+        bytes-in-flight per direction (committed but not yet serialized)
+        and windowed link utilization from the pipes' busy time."""
+        return {
+            "tx_backlog": self.tx.backlog_bytes,
+            "rx_backlog": self.rx.backlog_bytes,
+            "tx_util": rate_probe(self.sim, lambda: self.tx.stats_busy_us),
+            "rx_util": rate_probe(self.sim, lambda: self.rx.stats_busy_us),
+        }
 
 
 def _unattached(frame: Frame) -> None:
@@ -71,6 +82,21 @@ class Switch:
 
     def port(self, host_name: str) -> NetworkPort:
         return self._ports[host_name]
+
+    def gauges(self) -> Dict[str, Callable[[], float]]:
+        """Telemetry probes for a :class:`~repro.sim.TimeSeriesSampler`:
+        total queue occupancy across every attached port (bytes committed
+        to a pipe but not yet drained) and the windowed forwarding rate
+        in frames per second."""
+        def queue_bytes() -> float:
+            return sum(port.tx.backlog_bytes() + port.rx.backlog_bytes()
+                       for port in self._ports.values())
+
+        return {
+            "queue_bytes": queue_bytes,
+            "frames_s": rate_probe(
+                self.sim, lambda: float(self.frames_forwarded), scale=1e6),
+        }
 
     def transmit(self, src: str, frame: Frame) -> None:
         """Serialize ``frame`` on the source link, then forward it.

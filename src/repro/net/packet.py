@@ -36,6 +36,19 @@ NIC_ONLY_KINDS = frozenset({
 _msg_ids = itertools.count(1)
 
 
+def reset_msg_ids() -> None:
+    """Restart message-id allocation from 1 (called per fresh cluster).
+
+    Message ids only need to be unique within one simulation — they key
+    per-NIC pending-RDMA maps and per-port reassembly state. Restarting
+    the counter when a new cluster is wired keeps same-seed runs
+    byte-identical in trace and telemetry output even when several runs
+    share one process (campaign workers, tests).
+    """
+    global _msg_ids
+    _msg_ids = itertools.count(1)
+
+
 @dataclass
 class Message:
     """One logical transfer between two NICs."""

@@ -15,7 +15,7 @@ from typing import Any, Generator, Optional
 
 from ..hw.host import Host
 from ..hw.memory import Buffer
-from ..sim import Counter
+from ..sim import Counter, rate_probe
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,17 @@ class ORDMAInitiator:
     def __init__(self, host: Host):
         self.host = host
         self.stats = Counter()
+
+    def gauges(self):
+        """Telemetry probes for a :class:`~repro.sim.TimeSeriesSampler`:
+        windowed issue rates for optimistic reads and writes (ops/s)."""
+        sim = self.host.sim
+        return {
+            "reads_s": rate_probe(
+                sim, lambda: float(self.stats.get("reads")), scale=1e6),
+            "writes_s": rate_probe(
+                sim, lambda: float(self.stats.get("writes")), scale=1e6),
+        }
 
     def read(self, ref: RemoteRef, local: Optional[Buffer] = None,
              nbytes: Optional[int] = None, span=None) -> Generator:

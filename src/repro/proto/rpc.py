@@ -22,7 +22,7 @@ from ..hw.host import Host
 from ..hw.memory import Buffer
 from ..hw.tpt import RemoteAccessFault
 from ..net.packet import Message
-from ..sim import Counter, Event, trace_emit
+from ..sim import Counter, Event, rate_probe, trace_emit
 
 #: Marshalled size of request/response headers on the wire.
 RPC_HEADER_BYTES = 128
@@ -126,13 +126,16 @@ Handler = Callable[["RPCServer", RPCRequest], Generator]
 class RPCClient:
     """Issues calls over a transport; supports many outstanding calls."""
 
-    _xids = itertools.count(1)
-
     def __init__(self, host: Host, transport, server: str,
                  kernel: bool = False):
         """``kernel=True`` charges the kernel RPC layer's extra per-call
         cost (the NFS-family clients; Section 5.1's NFS hybrid burns more
         CPU per RPC than the user-level DAFS client)."""
+        # Per-instance xid counter: xids are matched only within this
+        # client's pending/recent maps and its own NIC tags, and a
+        # process-global counter would leak call counts between runs,
+        # breaking same-seed byte-identical trace exports.
+        self._xids = itertools.count(1)
         self.host = host
         self.transport = transport
         self.server = server
@@ -146,6 +149,16 @@ class RPCClient:
         #: reply from a genuinely unknown (orphan) one.
         self._recent: "OrderedDict[int, bool]" = OrderedDict()
         host.sim.process(self._recv_loop(), name=f"{host.name}.rpc-recv")
+
+    def gauges(self) -> Dict[str, Callable[[], float]]:
+        """Telemetry probes for a :class:`~repro.sim.TimeSeriesSampler`:
+        outstanding calls awaiting replies and the windowed call rate."""
+        return {
+            "outstanding": lambda: float(len(self._pending)),
+            "calls_s": rate_probe(
+                self.host.sim, lambda: float(self.stats.get("calls")),
+                scale=1e6),
+        }
 
     def call(self, proc: str, args: Optional[Dict[str, Any]] = None,
              req_bytes: int = RPC_HEADER_BYTES,
@@ -293,6 +306,8 @@ class RPCServer:
         self.stats = Counter()
         self._handlers: Dict[str, Handler] = {}
         self._started = False
+        #: Requests currently inside :meth:`_serve` (telemetry gauge).
+        self.inflight = 0
         #: While True (crashed), arriving requests are silently dropped.
         self.paused = False
         #: Duck-typed crash dice (see repro.faults.ServerFaults); ``None``
@@ -353,7 +368,24 @@ class RPCServer:
             self.host.sim.process(self._serve(msg),
                                   name=f"{self.name}.serve")
 
+    def gauges(self) -> Dict[str, Callable[[], float]]:
+        """Telemetry probes for a :class:`~repro.sim.TimeSeriesSampler`:
+        requests currently being served and the windowed arrival rate."""
+        return {
+            "inflight": lambda: float(self.inflight),
+            "requests_s": rate_probe(
+                self.host.sim, lambda: float(self.stats.get("requests")),
+                scale=1e6),
+        }
+
     def _serve(self, msg: Message) -> Generator:
+        self.inflight += 1
+        try:
+            yield from self._serve_inner(msg)
+        finally:
+            self.inflight -= 1
+
+    def _serve_inner(self, msg: Message) -> Generator:
         cpu = self.host.cpu
         proto = self.host.params.proto
         request = RPCRequest(msg)

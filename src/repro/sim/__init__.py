@@ -15,6 +15,14 @@ from .metrics import MetricsRegistry
 from .monitor import BusyTracker, Counter, LatencyStats, ThroughputMeter
 from .rand import RandomStreams
 from .resources import BandwidthPipe, Request, Resource, Store
+from .timeseries import (
+    TimeSeries,
+    TimeSeriesDump,
+    TimeSeriesSampler,
+    load_timeseries_jsonl,
+    rate_probe,
+    ratio_probe,
+)
 from .trace import (
     Span,
     TraceDump,
@@ -45,11 +53,17 @@ __all__ = [
     "StopSimulation",
     "Store",
     "ThroughputMeter",
+    "TimeSeries",
+    "TimeSeriesDump",
+    "TimeSeriesSampler",
     "Timeout",
     "TraceDump",
     "TraceEvent",
     "Tracer",
     "load_jsonl",
+    "load_timeseries_jsonl",
+    "rate_probe",
+    "ratio_probe",
     "span_start",
     "trace_emit",
 ]

@@ -8,11 +8,22 @@ of the Table 3 microbenchmark) can be excluded, exactly as the paper does.
 
 from __future__ import annotations
 
+import bisect
 import math
 import random
 from typing import Dict, List, Optional
 
 from .core import Simulator
+
+#: Fixed log2 histogram bucket upper edges in microseconds: 1, 2, 4, ...,
+#: 2^20 (~1.05 s). Samples above the last edge land in the overflow
+#: bucket. Fixed edges keep histograms mergeable across runs and let
+#: :meth:`LatencyStats.summary` report a distribution without sorting
+#: the retained sample list.
+HIST_EDGES_US = tuple(float(1 << k) for k in range(21))
+
+#: Bucket labels aligned with ``HIST_EDGES_US`` plus the overflow bucket.
+HIST_LABELS = tuple(f"le_{int(edge)}" for edge in HIST_EDGES_US) + ("inf",)
 
 
 class BusyTracker:
@@ -81,6 +92,7 @@ class LatencyStats:
         self._sumsq = 0.0
         self._min = math.inf
         self._max = -math.inf
+        self._hist = [0] * len(HIST_LABELS)
 
     @property
     def samples(self) -> List[float]:
@@ -97,6 +109,9 @@ class LatencyStats:
             self._min = latency_us
         if latency_us > self._max:
             self._max = latency_us
+        # The histogram sees every sample, even once the reservoir below
+        # starts subsampling — it is the full-population distribution.
+        self._hist[bisect.bisect_left(HIST_EDGES_US, latency_us)] += 1
         if self.reservoir is not None and \
                 len(self._samples) >= self.reservoir:
             # Algorithm R: keep each of the n samples with prob k/n.
@@ -116,6 +131,7 @@ class LatencyStats:
         self._sumsq = 0.0
         self._min = math.inf
         self._max = -math.inf
+        self._hist = [0] * len(HIST_LABELS)
         if self.reservoir is not None:
             self._rng = random.Random(self._seed)
 
@@ -155,11 +171,19 @@ class LatencyStats:
         rank = max(1, math.ceil(p / 100.0 * len(ordered)))
         return ordered[rank - 1]
 
+    def histogram(self) -> Dict[str, int]:
+        """Occupied log2 buckets, labelled ``le_<edge-us>`` (plus ``inf``
+        for overflow). Counts cover every recorded sample regardless of
+        reservoir subsampling."""
+        return {label: count
+                for label, count in zip(HIST_LABELS, self._hist) if count}
+
     def summary(self) -> Dict[str, float]:
         """The registry/JSON-friendly read-out."""
         return {"count": self._count, "mean": self.mean,
                 "p50": self.percentile(50), "p95": self.percentile(95),
-                "p99": self.percentile(99), "max": self.maximum}
+                "p99": self.percentile(99), "max": self.maximum,
+                "hist": self.histogram()}
 
 
 class ThroughputMeter:

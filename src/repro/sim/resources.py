@@ -189,3 +189,15 @@ class BandwidthPipe:
         if elapsed <= 0:
             return 0.0
         return min(1.0, self.stats_busy_us / elapsed)
+
+    def backlog_bytes(self) -> float:
+        """Bytes still waiting to serialize (instantaneous queue gauge).
+
+        The pipe is committed through ``_free_at``; anything beyond *now*
+        is backlog expressed in bytes at the pipe's rate. Idle pipes
+        report 0.0.
+        """
+        pending_us = self._free_at - self.sim.now
+        if pending_us <= 0:
+            return 0.0
+        return pending_us * self.bandwidth

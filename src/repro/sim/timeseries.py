@@ -1,0 +1,303 @@
+"""Continuous telemetry: sim-time gauge sampling into ring buffers.
+
+The span machinery (:mod:`repro.sim.trace`) answers *how long one request
+took, stage by stage*; this module answers the complementary resource
+question — *what was each component doing over time* — which is exactly
+the evidence behind the paper's attribution claims (Fig. 4's client CPU
+curves, Fig. 7's server-CPU-out-of-the-data-path argument).
+
+A :class:`TimeSeriesSampler` owns a set of named *gauge probes* — zero
+argument callables returning a float — and snapshots all of them on a
+fixed simulated-time interval into per-series ring buffers. Sampling is
+strictly off by default: nothing is scheduled until :meth:`start`, so an
+un-started sampler costs zero events and leaves seeded runs bit-identical.
+
+Probes come in three flavors:
+
+* plain gauges — instantaneous state (queue depth, cache blocks);
+* :func:`rate_probe` — wraps a *cumulative* counter (busy microseconds,
+  bytes DMA'd) and reports its per-microsecond rate over the window since
+  the previous sample, which for busy-time counters is exactly windowed
+  utilization;
+* :func:`ratio_probe` — the windowed ratio of two cumulative counters
+  (hit rate over the last interval, not since boot).
+
+Serialization mirrors the tracer's JSONL: a header line with ring
+accounting, then one line per series; :func:`load_timeseries_jsonl`
+round-trips the file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import (Any, Callable, Deque, Dict, Generator, Iterator, List,
+                    Optional, Sequence, Tuple)
+
+from .core import Event, Simulator
+
+#: Marker values for the JSONL line kinds.
+TIMESERIES_HEADER_KIND = "timeseries-header"
+TIMESERIES_KIND = "timeseries"
+
+GaugeFn = Callable[[], float]
+
+
+def rate_probe(sim: Simulator, cumulative: GaugeFn,
+               scale: float = 1.0) -> GaugeFn:
+    """Wrap a cumulative counter as a windowed per-microsecond rate gauge.
+
+    Each call reports ``scale * delta(value) / delta(time)`` since the
+    probe's previous call — under sampler control, the rate over the last
+    sampling interval. A busy-time counter therefore yields utilization
+    in [0, 1]; a byte counter yields B/us (== MB/s). Zero-elapsed calls
+    (including a query at the probe's creation instant) return 0.0.
+    """
+    state = [sim.now, float(cumulative())]
+
+    def probe() -> float:
+        now = sim.now
+        value = float(cumulative())
+        prev_t, prev_v = state
+        state[0], state[1] = now, value
+        if now <= prev_t:
+            return 0.0
+        return (value - prev_v) * scale / (now - prev_t)
+
+    return probe
+
+
+def ratio_probe(numerator: GaugeFn, denominator: GaugeFn) -> GaugeFn:
+    """Windowed ratio of two cumulative counters (e.g. cache hit rate).
+
+    Reports ``delta(num) / delta(den)`` since the previous call; windows
+    with no denominator activity report 0.0 rather than dividing by zero.
+    """
+    state = [float(numerator()), float(denominator())]
+
+    def probe() -> float:
+        num, den = float(numerator()), float(denominator())
+        d_num, d_den = num - state[0], den - state[1]
+        state[0], state[1] = num, den
+        return d_num / d_den if d_den > 0 else 0.0
+
+    return probe
+
+
+def window_mean(points: Sequence[Tuple[float, float]], t0: float,
+                t1: float) -> Optional[float]:
+    """Mean of the sample values with ``t0 <= ts <= t1``; None if none."""
+    total = 0.0
+    count = 0
+    for ts, value in points:
+        if t0 <= ts <= t1:
+            total += value
+            count += 1
+    return total / count if count else None
+
+
+class TimeSeries:
+    """One gauge's ring-buffered (timestamp, value) history."""
+
+    __slots__ = ("name", "points", "dropped")
+
+    def __init__(self, name: str, capacity: int):
+        self.name = name
+        self.points: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def append(self, ts: float, value: float) -> None:
+        if len(self.points) == self.points.maxlen:
+            self.dropped += 1
+        self.points.append((ts, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(self.points)
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.points[-1][1] if self.points else None
+
+    def values(self) -> List[float]:
+        return [value for _ts, value in self.points]
+
+    def mean(self, t0: float = 0.0,
+             t1: float = float("inf")) -> Optional[float]:
+        return window_mean(self.points, t0, t1)
+
+
+class TimeSeriesSampler:
+    """Snapshots registered gauges on a fixed sim-time interval.
+
+    Off by default: construction registers nothing with the simulator.
+    :meth:`start` spawns the sampling daemon; like
+    :class:`repro.nas.server.vm_pressure.MemoryPressure` it takes an
+    optional ``stop_on`` event (typically the workload's process) so the
+    event heap can drain once the measured run is over.
+    """
+
+    def __init__(self, sim: Simulator, interval_us: float = 50.0,
+                 capacity: int = 8192):
+        if interval_us <= 0:
+            raise ValueError(f"interval must be positive: {interval_us}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.sim = sim
+        self.interval_us = interval_us
+        self.capacity = capacity
+        #: Probes in registration order; sampled in exactly this order.
+        self._probes: Dict[str, GaugeFn] = {}
+        self.series: Dict[str, TimeSeries] = {}
+        self.ticks = 0
+        self._running = False
+        self._stop_on: Optional[Event] = None
+
+    # -- registration ------------------------------------------------------
+
+    def probe(self, name: str, fn: GaugeFn) -> None:
+        """Register gauge ``fn`` under dotted ``name``."""
+        if not name:
+            raise ValueError("probe name must be non-empty")
+        if name in self._probes:
+            raise ValueError(f"probe {name!r} already registered")
+        self._probes[name] = fn
+        self.series[name] = TimeSeries(name, self.capacity)
+
+    def probe_many(self, prefix: str, gauges: Dict[str, GaugeFn]) -> None:
+        """Register a component's gauge dict under ``prefix.<key>``."""
+        for key, fn in gauges.items():
+            self.probe(f"{prefix}.{key}", fn)
+
+    def names(self) -> List[str]:
+        return list(self._probes)
+
+    def __len__(self) -> int:
+        return len(self._probes)
+
+    # -- sampling ----------------------------------------------------------
+
+    def start(self, stop_on: Optional[Event] = None) -> None:
+        """Spawn the sampling daemon (idempotent start is an error)."""
+        if self._running:
+            raise RuntimeError("sampler already running")
+        self._running = True
+        self._stop_on = stop_on
+        self.sim.process(self._daemon(), name="timeseries-sampler")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _daemon(self) -> Generator:
+        while self._running:
+            yield self.sim.timeout(self.interval_us)
+            if not self._running:
+                return
+            if self._stop_on is not None and self._stop_on.triggered:
+                return
+            self.sample_once()
+
+    def sample_once(self) -> None:
+        """Take one snapshot of every probe at the current sim time."""
+        now = self.sim.now
+        series = self.series
+        for name, fn in self._probes.items():
+            series[name].append(now, float(fn()))
+        self.ticks += 1
+
+    # -- read-out ----------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        return sum(s.dropped for s in self.series.values())
+
+    def window_mean(self, name: str, t0: float = 0.0,
+                    t1: float = float("inf")) -> Optional[float]:
+        """Mean of one series over ``[t0, t1]``; None without samples."""
+        return self.series[name].mean(t0, t1)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat registry read-out: ring accounting plus last values."""
+        out: Dict[str, Any] = {
+            "ticks": self.ticks,
+            "interval_us": self.interval_us,
+            "series": len(self.series),
+            "dropped": self.dropped,
+        }
+        for name, series in self.series.items():
+            if series.points:
+                out[f"last.{name}"] = series.last
+        return out
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The whole sampler state as JSON lines (header + one line per
+        series). Deterministic: probes serialize in registration order."""
+        lines = [json.dumps({
+            "kind": TIMESERIES_HEADER_KIND, "version": 1,
+            "interval_us": self.interval_us, "ticks": self.ticks,
+            "dropped": self.dropped, "series": list(self._probes),
+        })]
+        for name in self._probes:
+            series = self.series[name]
+            lines.append(json.dumps({
+                "kind": TIMESERIES_KIND, "name": name,
+                "dropped": series.dropped,
+                "points": [[ts, value] for ts, value in series.points],
+            }))
+        return "\n".join(lines) + "\n"
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write :meth:`to_jsonl` to ``path``; returns the series count."""
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+        return len(self._probes)
+
+
+class TimeSeriesDump:
+    """A sampler's series loaded back from JSONL."""
+
+    def __init__(self, series: Dict[str, List[Tuple[float, float]]],
+                 interval_us: float = 0.0, ticks: int = 0,
+                 dropped: int = 0):
+        self.series = series
+        self.interval_us = interval_us
+        self.ticks = ticks
+        self.dropped = dropped
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def names(self) -> List[str]:
+        return list(self.series)
+
+    def window_mean(self, name: str, t0: float = 0.0,
+                    t1: float = float("inf")) -> Optional[float]:
+        return window_mean(self.series[name], t0, t1)
+
+
+def load_timeseries_jsonl(path: str) -> TimeSeriesDump:
+    """Load a :meth:`TimeSeriesSampler.dump_jsonl` file back into memory."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    interval_us = 0.0
+    ticks = 0
+    dropped = 0
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == TIMESERIES_HEADER_KIND:
+                interval_us = record.get("interval_us", 0.0)
+                ticks = record.get("ticks", 0)
+                dropped = record.get("dropped", 0)
+            elif kind == TIMESERIES_KIND:
+                series[record["name"]] = [
+                    (point[0], point[1]) for point in record["points"]]
+    return TimeSeriesDump(series, interval_us=interval_us, ticks=ticks,
+                          dropped=dropped)

@@ -37,6 +37,28 @@ class TestRunSuite:
         assert set(perf.BENCHES) <= set(ref)
         assert all(v > 0 for v in ref.values())
 
+    def test_telemetry_bench_included(self, suite_doc):
+        bench = suite_doc["benches"]["telemetry_reads"]
+        assert bench["ops"] == suite_doc["benches"]["rpc_reads"]["ops"]
+        assert bench["samples"] > 0
+        assert bench["normalized"] > 0
+
+    def test_disabled_telemetry_leaves_rpc_reads_digest_unchanged(
+            self, suite_doc):
+        # The sampler-overhead guard: with telemetry off, the rpc_reads
+        # bench must simulate exactly what the committed baseline did.
+        import json
+        import os
+        path = os.path.join(os.path.dirname(__file__), os.pardir,
+                            os.pardir, "BENCH_perf.json")
+        with open(path) as fh:
+            baseline = json.load(fh)
+        assert baseline["schema"] == perf.SCHEMA_VERSION
+        result = perf.bench_rpc_reads(quick=False)
+        base = baseline["benches"]["rpc_reads"]
+        for key in ("events", "sim_us", "ops"):
+            assert result[key] == base[key]
+
 
 class TestDigest:
     def test_digest_is_deterministic(self, suite_doc):

@@ -22,6 +22,47 @@ class TestWorkload:
         assert abs(span_mean - meter.mean) / meter.mean < 0.01
 
 
+class TestCriticalPath:
+    def _spans(self):
+        live = tracecli.run_workload(system="odafs", blocks=16)
+        return live["tracer"].finished_spans(op="read"), live["sampler"]
+
+    def test_attribution_reconciles_with_duration(self):
+        spans, _sampler = self._spans()
+        assert tracecli.critical_path_consistency(spans) <= 1e-6
+
+    def test_splits_cover_every_path(self):
+        spans, _sampler = self._spans()
+        tables = tracecli.critical_path(spans)
+        assert {"rdma", "ordma", "ordma-fallback"} <= set(tables)
+        for splits in tables.values():
+            for split in splits.values():
+                # Every span spends at least one floor of service.
+                assert split.service.minimum >= split.floor - 1e-9
+                assert split.occurrences >= split.service.count
+
+    def test_floor_is_minimum_observed_interval(self):
+        spans, _sampler = self._spans()
+        floors = tracecli.service_floors(spans)
+        for span in spans:
+            for stage, _component, _start, dur in span.stages():
+                assert floors[(span.path, stage)] <= dur + 1e-9
+
+    def test_dominant_resource_named_from_sampler(self):
+        live = tracecli.run_workload(system="odafs", blocks=16,
+                                     sample_interval_us=50.0)
+        spans = live["tracer"].finished_spans(op="read")
+        dominant = tracecli.dominant_resources(spans, live["sampler"])
+        assert dominant
+        for name, mean in dominant.values():
+            assert name.endswith(tracecli._UTIL_SUFFIXES)
+            assert 0.0 <= mean <= 1.0
+
+    def test_dominant_resources_empty_without_telemetry(self):
+        spans, _sampler = self._spans()
+        assert tracecli.dominant_resources(spans, None) == {}
+
+
 class TestCLI:
     def test_text_output_sections(self, capsys):
         assert tracecli.main(["--quick"]) == 0
@@ -55,6 +96,53 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Path mix" in out and "ordma" in out
 
+    def test_critical_path_text_output(self, capsys):
+        assert tracecli.main(["--quick", "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "Critical path: service vs queueing wait" in out
+        assert "dominant resource:" in out
+        assert "reconciliation" in out and "[OK]" in out
+
+    def test_critical_path_json_output(self, capsys):
+        assert tracecli.main(["--quick", "--critical-path",
+                              "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["critical_path_max_error_us"] <= 1e-6
+        for path, table in result["critical_path"].items():
+            for stage, split in table["stages"].items():
+                assert split["count"] > 0
+                assert split["service"]["mean"] >= 0.0
+                assert split["wait"]["mean"] >= 0.0
+
+    def test_perfetto_and_timeseries_outputs(self, tmp_path, capsys):
+        from repro.bench import traceexport
+        from repro.sim import load_timeseries_jsonl
+        perfetto = tmp_path / "trace.json"
+        ts = tmp_path / "ts.jsonl"
+        assert tracecli.main(["--quick", "--perfetto", str(perfetto),
+                              "--timeseries", str(ts)]) == 0
+        capsys.readouterr()
+        assert traceexport.main([str(perfetto)]) == 0
+        assert "OK" in capsys.readouterr().out
+        dump = load_timeseries_jsonl(str(ts))
+        assert dump.ticks > 0 and "server.cpu.util" in dump.names()
+
+    def test_perfetto_from_input_dump(self, tmp_path, capsys):
+        dump = tmp_path / "t.jsonl"
+        perfetto = tmp_path / "trace.json"
+        assert tracecli.main(["--quick", "--dump", str(dump)]) == 0
+        assert tracecli.main(["--input", str(dump),
+                              "--perfetto", str(perfetto)]) == 0
+        capsys.readouterr()
+        from repro.bench import traceexport
+        assert traceexport.main([str(perfetto)]) == 0
+
     def test_dispatch_from_bench_cli(self, capsys):
         assert bench_main(["trace", "--quick", "--waterfalls", "1"]) == 0
         assert "Consistency check" in capsys.readouterr().out
+
+    def test_telemetry_dispatch_from_bench_cli(self, capsys):
+        assert bench_main(["telemetry", "--quick", "--seed", "7",
+                           "--series", "server.cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry" in out and "server.cpu.util" in out

@@ -38,6 +38,20 @@ class TestBusyTracker:
         with pytest.raises(ValueError):
             tracker.add(-1.0)
 
+    def test_window_reset_at_nonzero_time_is_zero(self):
+        # Regression: a query in the same instant as reset_window() must
+        # not divide by the zero-length window.
+        sim = Simulator()
+        tracker = BusyTracker(sim)
+
+        def proc():
+            yield sim.timeout(100.0)
+            tracker.add(10.0)
+            tracker.reset_window()
+
+        sim.run_process(proc())
+        assert tracker.window_utilization() == 0.0
+
     def test_utilization_capped_at_one(self):
         sim = Simulator()
         tracker = BusyTracker(sim)
@@ -101,8 +115,32 @@ class TestLatencyStats:
         for x in range(1, 101):
             stats.record(float(x))
         summary = stats.summary()
+        hist = summary.pop("hist")
         assert summary == {"count": 100, "mean": 50.5, "p50": 50.0,
                            "p95": 95.0, "p99": 99.0, "max": 100.0}
+        assert sum(hist.values()) == 100
+
+    def test_histogram_bucketing(self):
+        stats = LatencyStats()
+        stats.record(0.5)            # below the first edge
+        stats.record(1.0)            # exactly on an edge: le_1
+        stats.record(3.0)            # between 2 and 4: le_4
+        stats.record(float(1 << 21))  # beyond the last edge: overflow
+        assert stats.histogram() == {"le_1": 2, "le_4": 1, "inf": 1}
+
+    def test_histogram_counts_full_population_in_reservoir_mode(self):
+        stats = LatencyStats(reservoir=50)
+        for x in range(1000):
+            stats.record(float(x))
+        assert len(stats.samples) == 50
+        # The histogram keeps counting past the reservoir bound.
+        assert sum(stats.histogram().values()) == 1000
+
+    def test_histogram_reset(self):
+        stats = LatencyStats()
+        stats.record(5.0)
+        stats.reset()
+        assert stats.histogram() == {}
 
     def test_reservoir_bounds_retained_samples(self):
         stats = LatencyStats(reservoir=50)
@@ -161,6 +199,19 @@ class TestThroughputMeter:
         meter = ThroughputMeter(Simulator())
         meter.add(10.0)
         assert meter.rate() == 0.0
+
+    def test_window_reset_at_nonzero_time_is_zero(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim)
+
+        def proc():
+            yield sim.timeout(10.0)
+            meter.add(500.0)
+            meter.reset_window()
+
+        sim.run_process(proc())
+        assert meter.rate() == 0.0
+        assert meter.per_second() == 0.0
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
