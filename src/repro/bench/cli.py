@@ -208,6 +208,10 @@ def main(argv=None) -> int:
         # Continuous-telemetry timelines and cross-system comparisons.
         from .telemetry import main as telemetry_main
         return telemetry_main(list(argv[1:]))
+    if argv and argv[0] == "scale":
+        # Client-scaling sweeps against the admission scheduler.
+        from .scale import main as scale_main
+        return scale_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -216,10 +220,12 @@ def main(argv=None) -> int:
                     "request spans, 'chaos' runs fault-injection "
                     "degradation campaigns, 'perf' benchmarks the "
                     "simulation engine itself, 'telemetry' renders "
-                    "sampled gauge timelines (repro-bench perf --help).")
+                    "sampled gauge timelines, 'scale' sweeps client "
+                    "counts against the server admission scheduler "
+                    "(repro-bench perf --help).")
     parser.add_argument("target", choices=list(TARGETS) + ["all"],
                         help="which table/figure to regenerate (or "
-                             "'trace'/'chaos'/'perf'/'telemetry' "
+                             "'trace'/'chaos'/'perf'/'telemetry'/'scale' "
                              "subcommands)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller workloads (same shapes, faster)")

@@ -1,0 +1,403 @@
+"""``repro-bench scale`` — client-scaling sweep against one server.
+
+The paper's headline multi-client numbers (Figs. 6/7) stop at the
+testbed's four machines. This campaign extends them: for each
+``(mix, system, n_clients)`` point it wires a fresh cluster with the
+server admission/request scheduler enabled (bounded accept queue +
+service-thread pool, :mod:`repro.nas.server.sched`) and sweeps
+``n_clients`` up to 32, emitting throughput- and latency-versus-clients
+curves. The qualitative result to reproduce: NFS saturates on server CPU
+and its response time balloons with queueing delay, while ODAFS's
+client-initiated reads bypass the server CPU and keep climbing to the
+link — the >=30% small-I/O gain of Section 5.2 at scale.
+
+Two workload mixes:
+
+* ``smallio`` — every client streams the same warm file in 4 KB reads
+  through a tiny client cache (the Fig. 7 shape, N-wide);
+* ``postmark`` — every client runs read-only PostMark-style open/read/
+  close transactions over a shared small-file set (the Fig. 6 shape,
+  N-wide).
+
+Every point is a pure function of ``(master seed, point spec)``: all
+randomness comes from named :class:`~repro.sim.RandomStreams`, so two
+same-seed campaigns emit byte-identical JSON for any ``--jobs`` count
+(the CI scale-smoke job diffs them).
+
+Examples::
+
+    repro-bench scale --quick --seed 7
+    repro-bench scale --systems nfs odafs --clients 1 2 4 8 16 32
+    repro-bench scale --quick --json > scale.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+from ..cluster import SYSTEMS, Cluster
+from ..params import KB, Params, default_params
+from ..sim import LatencyStats
+from ..workloads.smallio import MultiClientReadWorkload
+from .plot import ascii_chart
+from .runner import run_points
+
+#: Workload mixes the campaign can sweep.
+MIXES = ("smallio", "postmark")
+
+#: Client counts, default and --quick grids.
+DEFAULT_CLIENTS = (1, 2, 4, 8, 16, 32)
+QUICK_CLIENTS = (1, 2, 4, 8)
+
+#: Systems compared by default (the paper's Fig. 6/7 cast).
+DEFAULT_SYSTEMS = ("nfs", "dafs", "odafs")
+QUICK_SYSTEMS = ("nfs", "odafs")
+
+#: 4 KB: the paper's small-I/O unit (Table 3, Fig. 6, Fig. 7 @ 4 KB).
+BLOCK = 4 * KB
+
+
+def _sched_params(params: Optional[Params], policy: str,
+                  service_threads: int, max_queue: int) -> Params:
+    """A params copy with the admission scheduler switched on."""
+    p = (params or default_params()).copy()
+    p.sched.policy = policy
+    p.sched.service_threads = service_threads
+    p.sched.max_queue = max_queue
+    return p
+
+
+def _client_kwargs(system: str) -> Dict[str, Any]:
+    """Small client caches so the measured pass always misses locally."""
+    if system in ("dafs", "odafs"):
+        return {"cache_blocks": 8, "rpc_read_mode": "direct"}
+    return {"bcache_entries": 8}
+
+
+def _collect(cluster: Cluster, system: str, ops: int, elapsed: float,
+             latency: LatencyStats) -> Dict[str, Any]:
+    """Shape one campaign point (rounded: byte-identical across runs)."""
+    sched = cluster.scheduler
+    rejected_calls = sum(c.rpc.stats.get("rejected_calls")
+                         for c in cluster.clients)
+    point: Dict[str, Any] = {
+        "ops": ops,
+        "sim_us": round(cluster.sim.now, 2),
+        "elapsed_us": round(elapsed, 2),
+        "throughput_mb_s": (round(ops * BLOCK / elapsed, 3)
+                            if elapsed > 0 else 0.0),
+        "ops_s": (round(ops / elapsed * 1e6, 1) if elapsed > 0 else 0.0),
+        "p50_us": round(latency.percentile(50), 2) if latency.count else 0.0,
+        "p95_us": round(latency.percentile(95), 2) if latency.count else 0.0,
+        "p99_us": round(latency.percentile(99), 2) if latency.count else 0.0,
+        "server_cpu": round(cluster.server_cpu_utilization(), 4),
+        "sched": {
+            "admitted": sched.stats.get("admitted"),
+            "rejected": sched.stats.get("rejected"),
+            "completed": sched.stats.get("completed"),
+            "peak_qdepth": sched.peak_qdepth,
+            "peak_active": sched.peak_active,
+        },
+        "client_rejected_calls": rejected_calls,
+    }
+    if system == "odafs":
+        ordma = sum(c.stats.get("ordma_reads") for c in cluster.clients)
+        rpc_fills = sum(c.stats.get("rpc_fills") for c in cluster.clients)
+        fills = ordma + rpc_fills
+        point["ordma_frac"] = round(ordma / fills, 4) if fills else 0.0
+    return point
+
+
+def run_point_smallio(system: str, n_clients: int,
+                      params: Optional[Params] = None, blocks: int = 48,
+                      policy: str = "fair", service_threads: int = 4,
+                      max_queue: int = 32) -> Dict[str, Any]:
+    """One small-I/O point: N clients stream a warm ``blocks``-block file
+    twice; pass 2 is measured (ODAFS runs it over client-initiated
+    ORDMA, the reference directory warm from pass 1)."""
+    p = _sched_params(params, policy, service_threads, max_queue)
+    cluster = Cluster(p, system=system, n_clients=n_clients,
+                      block_size=BLOCK, server_cache_blocks=blocks + 8,
+                      client_kwargs=_client_kwargs(system))
+    cluster.create_file("scale", blocks * BLOCK)
+    latency = LatencyStats("read_us")
+    workload = MultiClientReadWorkload(cluster, "scale", blocks * BLOCK,
+                                       app_block_size=BLOCK,
+                                       latency=latency)
+    result = workload.run()
+    ops = n_clients * blocks  # measured pass only
+    elapsed = ops * BLOCK / result["throughput_mb_s"]
+    return _collect(cluster, system, ops, elapsed, latency)
+
+
+def run_point_postmark(system: str, n_clients: int,
+                       params: Optional[Params] = None, n_files: int = 32,
+                       transactions: int = 48, policy: str = "fair",
+                       service_threads: int = 4,
+                       max_queue: int = 32) -> Dict[str, Any]:
+    """One PostMark point: N clients each run ``transactions`` read-only
+    open/read/close transactions over a shared warm small-file set."""
+    p = _sched_params(params, policy, service_threads, max_queue)
+    cluster = Cluster(p, system=system, n_clients=n_clients,
+                      block_size=BLOCK, server_cache_blocks=n_files + 8,
+                      client_kwargs=_client_kwargs(system))
+    for i in range(n_files):
+        cluster.create_file(f"pm{i:06d}", BLOCK)
+    sim = cluster.sim
+    latency = LatencyStats("txn_us")
+    warm_done = [sim.event() for _ in cluster.clients]
+    warm_barrier = sim.all_of(warm_done)
+
+    def txn(client, name: str) -> Generator:
+        proto = client.host.params.proto
+        yield from client.host.cpu.execute(proto.app_txn_us,
+                                           category="app")
+        yield from client.open(name)
+        yield from client.read(name, 0, BLOCK)
+        yield from client.close(name)
+
+    def client_main(idx: int) -> Generator:
+        client = cluster.clients[idx]
+        rng = cluster.rand.stream(f"scale.pm{idx}")
+        # Warm-up pass: touch every file once (delegations granted and,
+        # for ODAFS, remote references piggybacked into the directory).
+        for i in range(n_files):
+            yield from txn(client, f"pm{i:06d}")
+        warm_done[idx].succeed(None)
+        yield warm_barrier
+        for _ in range(transactions):
+            name = f"pm{rng.randrange(n_files):06d}"
+            start = sim.now
+            yield from txn(client, name)
+            latency.record(sim.now - start)
+
+    def main() -> Generator:
+        procs = [sim.process(client_main(i), name=f"scale-pm{i}")
+                 for i in range(n_clients)]
+        yield warm_barrier
+        cluster.reset_measurements()
+        start = sim.now
+        yield sim.all_of(procs)
+        return sim.now - start
+
+    elapsed = sim.run_process(main())
+    ops = n_clients * transactions
+    return _collect(cluster, system, ops, elapsed, latency)
+
+
+def _scale_point(spec) -> Dict[str, Any]:
+    """One grid point, shaped for :func:`repro.bench.runner.run_points`."""
+    (mix, system, n_clients, params, blocks, n_files, transactions,
+     policy, service_threads, max_queue) = spec
+    if mix == "smallio":
+        return run_point_smallio(system, n_clients, params=params,
+                                 blocks=blocks, policy=policy,
+                                 service_threads=service_threads,
+                                 max_queue=max_queue)
+    return run_point_postmark(system, n_clients, params=params,
+                              n_files=n_files, transactions=transactions,
+                              policy=policy,
+                              service_threads=service_threads,
+                              max_queue=max_queue)
+
+
+def saturation_summary(series: Dict[str, Dict[str, Dict[str, Any]]]
+                       ) -> Dict[str, Any]:
+    """Where each system's throughput saturates, and the ODAFS gain.
+
+    The saturation point is the smallest client count past which adding
+    clients improves throughput by <5%; the headline figure is ODAFS's
+    gain over NFS at NFS's saturated count (the paper's 32% claim).
+    """
+    summary: Dict[str, Any] = {}
+    for system, points in series.items():
+        counts = sorted(points, key=int)
+        sat = counts[-1]
+        for prev, cur in zip(counts, counts[1:]):
+            prev_t = points[prev]["throughput_mb_s"]
+            cur_t = points[cur]["throughput_mb_s"]
+            if prev_t > 0 and cur_t < prev_t * 1.05:
+                sat = prev
+                break
+        summary[system] = {
+            "saturation_clients": int(sat),
+            "peak_mb_s": max(p["throughput_mb_s"]
+                             for p in points.values()),
+        }
+    if "nfs" in series and "odafs" in series:
+        sat = str(summary["nfs"]["saturation_clients"])
+        nfs_t = series["nfs"][sat]["throughput_mb_s"]
+        odafs_t = series["odafs"][sat]["throughput_mb_s"]
+        summary["odafs_vs_nfs_at_saturation"] = (
+            round(odafs_t / nfs_t - 1.0, 4) if nfs_t > 0 else 0.0)
+    return summary
+
+
+def scale_campaign(params: Optional[Params] = None,
+                   systems: Sequence[str] = DEFAULT_SYSTEMS,
+                   mixes: Sequence[str] = MIXES,
+                   client_counts: Sequence[int] = DEFAULT_CLIENTS,
+                   blocks: int = 48, n_files: int = 32,
+                   transactions: int = 48, policy: str = "fair",
+                   service_threads: int = 4, max_queue: int = 32,
+                   jobs: Optional[int] = None) -> Dict[str, Any]:
+    """{mix: {system: {str(n): point}, "summary": ...}} over the grid.
+
+    Points share no mutable state (each builds its own cluster from the
+    seed), so the grid fans out over ``jobs`` workers with results
+    byte-identical to a serial run.
+    """
+    for system in systems:
+        if system not in SYSTEMS:
+            raise ValueError(f"unknown system {system!r}; one of {SYSTEMS}")
+    for mix in mixes:
+        if mix not in MIXES:
+            raise ValueError(f"unknown mix {mix!r}; one of {MIXES}")
+    specs = [(mix, system, n, params, blocks, n_files, transactions,
+              policy, service_threads, max_queue)
+             for mix in mixes
+             for system in systems
+             for n in client_counts]
+    points = run_points(_scale_point, specs, jobs=jobs)
+    results: Dict[str, Any] = {}
+    for spec, point in zip(specs, points):
+        mix, system, n = spec[0], spec[1], spec[2]
+        results.setdefault(mix, {}).setdefault(system, {})[str(n)] = point
+    for mix in results:
+        results[mix]["summary"] = saturation_summary(
+            {s: pts for s, pts in results[mix].items() if s != "summary"})
+    return results
+
+
+def render_campaign(results: Dict[str, Any]) -> str:
+    """Per-mix scaling tables plus throughput/latency-vs-clients curves."""
+    lines: List[str] = []
+    for mix, per_system in results.items():
+        lines.append(f"== mix: {mix} (x axis: clients) ==")
+        lines.append(f"  {'system':<8} {'n':>4} {'MB/s':>8} {'ops/s':>10} "
+                     f"{'p50 us':>9} {'p95 us':>9} {'p99 us':>9} "
+                     f"{'srv cpu':>8} {'qpeak':>6} {'rej':>6}")
+        tput: Dict[str, Dict[int, float]] = {}
+        p95: Dict[str, Dict[int, float]] = {}
+        for system, points in per_system.items():
+            if system == "summary":
+                continue
+            for key, point in points.items():
+                n = int(key)
+                tput.setdefault(system, {})[n] = point["throughput_mb_s"]
+                p95.setdefault(system, {})[n] = point["p95_us"]
+                lines.append(
+                    f"  {system:<8} {n:>4} "
+                    f"{point['throughput_mb_s']:>8.2f} "
+                    f"{point['ops_s']:>10.1f} {point['p50_us']:>9.1f} "
+                    f"{point['p95_us']:>9.1f} {point['p99_us']:>9.1f} "
+                    f"{point['server_cpu']:>8.3f} "
+                    f"{point['sched']['peak_qdepth']:>6} "
+                    f"{point['sched']['rejected']:>6}")
+        lines.append("")
+        lines.append(ascii_chart(tput, ylabel="MB/s", xlabel="clients"))
+        lines.append("")
+        lines.append(ascii_chart(p95, ylabel="p95 us", xlabel="clients"))
+        summary = per_system.get("summary", {})
+        for system, stats in summary.items():
+            if isinstance(stats, dict):
+                lines.append(f"  {system}: saturates at "
+                             f"{stats['saturation_clients']} client(s), "
+                             f"peak {stats['peak_mb_s']:.1f} MB/s")
+        gain = summary.get("odafs_vs_nfs_at_saturation")
+        if gain is not None:
+            lines.append(f"  ODAFS over NFS at NFS saturation: "
+                         f"{gain * 100:+.1f}% (paper: up to +32%)")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """Entry point for ``repro-bench scale``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench scale",
+        description="Client-scaling sweep: throughput and tail latency "
+                    "vs client count per NAS system, with the server "
+                    "admission/request scheduler enabled.")
+    parser.add_argument("--systems", nargs="+", default=None,
+                        choices=SYSTEMS, metavar="SYSTEM",
+                        help=f"systems to sweep (default: "
+                             f"{', '.join(DEFAULT_SYSTEMS)})")
+    parser.add_argument("--mixes", nargs="+", default=list(MIXES),
+                        choices=MIXES, metavar="MIX",
+                        help="workload mixes to sweep (default: all)")
+    parser.add_argument("--clients", nargs="+", type=int, default=None,
+                        metavar="N",
+                        help=f"client counts (default: "
+                             f"{DEFAULT_CLIENTS})")
+    parser.add_argument("--blocks", type=int, default=48,
+                        help="4 KB blocks in the smallio file "
+                             "(default 48)")
+    parser.add_argument("--files", type=int, default=32,
+                        help="PostMark file-set size (default 32)")
+    parser.add_argument("--transactions", type=int, default=48,
+                        help="measured PostMark transactions per client "
+                             "(default 48)")
+    parser.add_argument("--policy", default="fair",
+                        choices=("fifo", "fair"),
+                        help="server scheduling policy (default fair)")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="server service-thread pool size "
+                             "(default 4)")
+    parser.add_argument("--queue", type=int, default=32,
+                        help="server accept-queue bound (default 32)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master seed for every RNG stream")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller grid (1..8 clients, nfs+odafs, "
+                             "smallio only)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the grid (default: "
+                             "serial; output is byte-identical for any "
+                             "job count)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw campaign results as JSON")
+    args = parser.parse_args(argv)
+
+    params = default_params()
+    if args.seed is not None:
+        params = params.copy(seed=args.seed)
+    systems = tuple(args.systems) if args.systems else \
+        (QUICK_SYSTEMS if args.quick else DEFAULT_SYSTEMS)
+    counts = tuple(args.clients) if args.clients else \
+        (QUICK_CLIENTS if args.quick else DEFAULT_CLIENTS)
+    mixes = tuple(args.mixes)
+    if args.quick and args.mixes == list(MIXES):
+        mixes = ("smallio",)
+    blocks = 24 if args.quick else args.blocks
+    transactions = 24 if args.quick else args.transactions
+
+    results = scale_campaign(params=params, systems=systems, mixes=mixes,
+                             client_counts=counts, blocks=blocks,
+                             n_files=args.files,
+                             transactions=transactions,
+                             policy=args.policy,
+                             service_threads=args.threads,
+                             max_queue=args.queue, jobs=args.jobs)
+
+    if args.json:
+        print(json.dumps({"seed": params.seed,
+                          "clients": list(counts),
+                          "policy": args.policy,
+                          "service_threads": args.threads,
+                          "max_queue": args.queue,
+                          "results": results}, indent=2))
+    else:
+        print(f"Client-scaling campaign — seed {params.seed}, policy "
+              f"{args.policy}, {args.threads} service threads, queue "
+              f"bound {args.queue}")
+        print()
+        print(render_campaign(results))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

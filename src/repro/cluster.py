@@ -30,10 +30,12 @@ from .nas.client.nfs_prepost import NFSPrepostClient
 from .nas.client.nfs_remap import NFSRemapClient
 from .nas.client.odafs import ODAFSClient
 from .nas.server.filecache import ServerFileCache
+from .nas.server.sched import RequestScheduler
 from .nas.server.server import DAFSServer, NFSServer, ODAFSServer
 from .net.link import Switch
 from .net.packet import reset_msg_ids
 from .params import Params, default_params
+from .proto.rpc import RetryPolicy
 from .sim import (MetricsRegistry, RandomStreams, Simulator,
                   TimeSeriesSampler)
 
@@ -84,6 +86,16 @@ class Cluster:
         else:
             self.server = NFSServer(self.server_host, self.fs, self.disk,
                                     self.cache)
+        #: Admission/request scheduler; ``None`` unless ``params.sched``
+        #: enables a policy (the seed dispatch model stays untouched).
+        self.scheduler: Optional[RequestScheduler] = None
+        sched_p = self.params.sched
+        if sched_p.policy != "none":
+            self.scheduler = RequestScheduler(
+                self.sim, policy=sched_p.policy,
+                service_threads=sched_p.service_threads,
+                max_queue=sched_p.max_queue)
+            self.server.rpc.attach_scheduler(self.scheduler)
         self.server.start()
 
         kwargs = dict(client_kwargs or {})
@@ -93,7 +105,18 @@ class Cluster:
             host = Host(self.sim, self.params, self.switch, f"client{i}",
                         use_capabilities=use_capabilities)
             self.client_hosts.append(host)
-            self.clients.append(self._make_client(host, kwargs))
+            client = self._make_client(host, kwargs)
+            if self.scheduler is not None:
+                # Rejections come back as busy replies; each client backs
+                # off on its own seeded jitter stream (PR-2 machinery).
+                client.rpc.reject_retry = RetryPolicy(
+                    backoff_base_us=sched_p.reject_backoff_base_us,
+                    backoff_factor=sched_p.reject_backoff_factor,
+                    backoff_cap_us=sched_p.reject_backoff_cap_us,
+                    jitter=sched_p.reject_jitter,
+                    max_retries=sched_p.reject_max_retries,
+                    rng=self.rand.stream(f"{host.name}.reject"))
+            self.clients.append(client)
 
         #: One hierarchical read-out over every component's instruments.
         self.metrics = MetricsRegistry()
@@ -109,6 +132,8 @@ class Cluster:
         reg.register("server.cache", self.cache.stats)
         reg.register("server.ops", self.server.stats)
         reg.register("server.rpc", self.server.rpc.stats)
+        if self.scheduler is not None:
+            reg.register("server.sched", self.scheduler.stats)
         for i, (host, client) in enumerate(zip(self.client_hosts,
                                                self.clients)):
             reg.register(f"client{i}.cpu", host.cpu.busy)
@@ -137,6 +162,8 @@ class Cluster:
         sampler.probe_many("server.nic", self.server_host.nic.gauges())
         sampler.probe_many("server.cache", self.cache.gauges())
         sampler.probe_many("server.rpc", self.server.rpc.gauges())
+        if self.scheduler is not None:
+            sampler.probe_many("server.sched", self.scheduler.gauges())
         sampler.probe_many("net.server", self.server_host.nic.port.gauges())
         for i, (host, client) in enumerate(zip(self.client_hosts,
                                                self.clients)):

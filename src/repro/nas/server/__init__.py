@@ -1,6 +1,7 @@
 """File servers and the server file cache."""
 
 from .filecache import ServerBlock, ServerFileCache
+from .sched import RequestScheduler
 from .server import (
     DAFS_PORT,
     NFS_PORT,
@@ -17,6 +18,7 @@ __all__ = [
     "NFSServer",
     "NFS_PORT",
     "ODAFSServer",
+    "RequestScheduler",
     "ServerBlock",
     "ServerFileCache",
 ]

@@ -1,0 +1,161 @@
+"""Server-side admission control and request scheduling.
+
+The seed server model dispatched one concurrent task per arriving
+request — fine for one or two clients, but with many clients hammering
+one server it hides the two effects the paper's scale argument rests on
+(Section 2.3): queueing delay at a loaded server, and the hard limit a
+kernel's service-thread pool puts on concurrent request processing.
+
+:class:`RequestScheduler` supplies both. It is a pure queueing/policy
+object — :class:`~repro.proto.rpc.RPCServer` owns the receive and
+dispatch loops and asks the scheduler three questions:
+
+* :meth:`admit` — may this arrival join the bounded accept queue? A
+  ``False`` answer makes the server send an explicit busy rejection; the
+  client backs off (seeded, capped-exponential — the PR-2 machinery) and
+  retransmits under the same xid.
+* :meth:`pop` — which queued request runs next? ``"fifo"`` serves the
+  shared arrival queue in order; ``"fair"`` keeps one queue per client
+  and serves them round-robin (deficit round-robin with a unit quantum),
+  so one greedy client cannot starve the rest.
+* ``active`` / ``service_threads`` — how many handlers may run at once,
+  modeling the kernel service-thread (nfsd biod/worker) pool.
+
+Everything is deterministic: queue order is a pure function of arrival
+order, so same-seed runs stay byte-identical. Telemetry exposes
+``server.sched.qdepth`` / ``server.sched.active`` gauges and a windowed
+rejection rate via :meth:`gauges`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from ...net.packet import Message
+from ...sim import Counter, Simulator, rate_probe
+
+#: Supported scheduling policies (``SchedParams.policy`` minus "none").
+POLICIES = ("fifo", "fair")
+
+#: One queued arrival: the message plus its enqueue timestamp (the
+#: dispatcher turns the difference into span queue-wait attribution).
+QueueEntry = Tuple[Message, float]
+
+
+class RequestScheduler:
+    """Bounded accept queue + service-thread pool + dispatch policy."""
+
+    def __init__(self, sim: Simulator, policy: str = "fifo",
+                 service_threads: int = 4, max_queue: int = 64):
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; one of {POLICIES}")
+        if service_threads < 1:
+            raise ValueError(f"service_threads must be >= 1: "
+                             f"{service_threads}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1: {max_queue}")
+        self.sim = sim
+        self.policy = policy
+        self.service_threads = service_threads
+        self.max_queue = max_queue
+        #: Handlers currently executing (maintained by the RPC server's
+        #: dispatch loop; compared against ``service_threads``).
+        self.active = 0
+        #: admitted / dispatched / rejected / completed / dropped_at_crash
+        #: counters, registered as ``server.sched`` in cluster metrics.
+        self.stats = Counter()
+        #: High-water mark of the accept queue depth.
+        self.peak_qdepth = 0
+        #: High-water mark of concurrently active handlers.
+        self.peak_active = 0
+        self._queued = 0
+        self._fifo: Deque[QueueEntry] = deque()
+        #: Per-client queues + round-robin order, for the "fair" policy.
+        self._per_client: Dict[str, Deque[QueueEntry]] = OrderedDict()
+        self._rr: Deque[str] = deque()
+
+    def __len__(self) -> int:
+        """Requests waiting in the accept queue (not yet dispatched)."""
+        return self._queued
+
+    def admit(self, msg: Message) -> bool:
+        """Try to enqueue an arrival; ``False`` means reject (queue full).
+
+        Admission is the only place load is shed: once admitted, a
+        request is guaranteed to be dispatched exactly once (or counted
+        in ``dropped_at_crash`` if the server process dies first).
+        """
+        if self._queued >= self.max_queue:
+            self.stats.incr("rejected")
+            return False
+        entry = (msg, self.sim.now)
+        if self.policy == "fifo":
+            self._fifo.append(entry)
+        else:
+            client = msg.src
+            queue = self._per_client.get(client)
+            if queue is None:
+                queue = deque()
+                self._per_client[client] = queue
+            if not queue:
+                self._rr.append(client)
+            queue.append(entry)
+        self._queued += 1
+        if self._queued > self.peak_qdepth:
+            self.peak_qdepth = self._queued
+        self.stats.incr("admitted")
+        return True
+
+    def pop(self) -> Optional[QueueEntry]:
+        """Next ``(message, enqueue_ts)`` to serve, or ``None`` if idle.
+
+        FIFO pops the shared queue; fair-share rotates over clients with
+        pending work, taking one request per turn, so every client with a
+        backlog is served within one full rotation (no starvation).
+        """
+        if not self._queued:
+            return None
+        if self.policy == "fifo":
+            entry = self._fifo.popleft()
+        else:
+            client = self._rr.popleft()
+            queue = self._per_client[client]
+            entry = queue.popleft()
+            if queue:
+                self._rr.append(client)
+            else:
+                del self._per_client[client]
+        self._queued -= 1
+        self.stats.incr("dispatched")
+        return entry
+
+    def note_active(self, delta: int) -> None:
+        """Track the handler pool occupancy (dispatch loop bookkeeping)."""
+        self.active += delta
+        if self.active > self.peak_active:
+            self.peak_active = self.active
+
+    def drop_all(self) -> int:
+        """Discard every queued request (server crash: the accept queue
+        lived in server memory). Clients recover by retransmission.
+        Returns the number of requests dropped."""
+        dropped = self._queued
+        self._fifo.clear()
+        self._per_client.clear()
+        self._rr.clear()
+        self._queued = 0
+        if dropped:
+            self.stats.incr("dropped_at_crash", dropped)
+        return dropped
+
+    def gauges(self) -> Dict[str, Callable[[], float]]:
+        """Telemetry probes (``server.sched.*``): accept-queue depth,
+        busy handler count, and the windowed rejection rate per second."""
+        return {
+            "qdepth": lambda: float(self._queued),
+            "active": lambda: float(self.active),
+            "rejected_s": rate_probe(
+                self.sim, lambda: float(self.stats.get("rejected")),
+                scale=1e6),
+        }

@@ -208,6 +208,43 @@ class StorageParams:
 
 
 @dataclass
+class SchedParams:
+    """Server admission control and request scheduling (multi-client runs).
+
+    Models the kernel's bounded service-thread pool and accept queue: a
+    loaded server adds queueing delay to response time (Section 2.3), and
+    past the queue bound it must shed load explicitly. Off by default
+    (``policy="none"``): single-client and legacy configurations keep the
+    seed behavior of one concurrent task per request, bit for bit.
+    """
+
+    #: Request scheduling policy: "none" (no admission control, the seed
+    #: behavior), "fifo" (one shared arrival queue), or "fair" (per-client
+    #: queues served round-robin, DRR with unit quantum).
+    policy: str = "none"
+    #: Concurrent request handlers — the kernel service-thread (nfsd/dafsd
+    #: worker) pool size. Arrivals beyond this wait in the accept queue.
+    service_threads: int = 4
+    #: Bounded accept/backlog queue depth; arrivals past it are rejected
+    #: with an explicit busy reply (load shedding, not silent drop).
+    max_queue: int = 64
+    #: Server CPU cost to emit a rejection reply (header-only, no handler).
+    reject_reply_us: float = 1.0
+    #: Client-side backoff before retrying a rejected call: capped
+    #: exponential, ``base * factor^(attempt-1)`` clamped to ``cap``,
+    #: scaled by ``1 +- jitter`` from a seeded stream.
+    reject_backoff_base_us: float = 150.0
+    #: Exponential growth factor of the rejection backoff.
+    reject_backoff_factor: float = 2.0
+    #: Upper clamp on one rejection backoff delay.
+    reject_backoff_cap_us: float = 5000.0
+    #: Jitter fraction applied to each rejection backoff delay.
+    reject_jitter: float = 0.1
+    #: Rejection retries before the call surfaces an RPCError to the app.
+    reject_max_retries: int = 24
+
+
+@dataclass
 class Params:
     """Aggregate testbed parameters (one per simulated experiment)."""
 
@@ -216,6 +253,7 @@ class Params:
     net: NetworkParams = field(default_factory=NetworkParams)
     proto: ProtocolParams = field(default_factory=ProtocolParams)
     storage: StorageParams = field(default_factory=StorageParams)
+    sched: SchedParams = field(default_factory=SchedParams)
     #: Master seed for every component RNG stream (determinism).
     seed: int = 2003
 
@@ -227,6 +265,7 @@ class Params:
             "net": replace(self.net),
             "proto": replace(self.proto),
             "storage": replace(self.storage),
+            "sched": replace(self.sched),
             "seed": self.seed,
         }
         fields.update(overrides)

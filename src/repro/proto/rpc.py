@@ -145,6 +145,11 @@ class RPCClient:
         #: Retransmission policy; ``None`` (the default) waits forever,
         #: which is exact for a lossless fabric and costs no timer events.
         self.retry: Optional[RetryPolicy] = None
+        #: Backoff policy for server admission rejections (the scheduler's
+        #: bounded accept queue shedding load). ``None`` (the default)
+        #: surfaces a rejection as an immediate :class:`RPCError`; servers
+        #: without a scheduler never reject, so nothing changes for them.
+        self.reject_retry: Optional[RetryPolicy] = None
         #: Recently completed xids, to tell a retransmission's duplicate
         #: reply from a genuinely unknown (orphan) one.
         self._recent: "OrderedDict[int, bool]" = OrderedDict()
@@ -197,22 +202,45 @@ class RPCClient:
             meta["rddp_xid"] = xid
         if rddp_untagged:
             meta["rddp_untagged"] = True
-        done = Event(self.host.sim)
-        self._pending[xid] = done
         self.stats.incr("calls")
         trace_emit(self.host.sim, self.host.name, "rpc-call", proc=proc,
                    xid=xid, server=self.server)
         if span is not None:
             span.mark(self.host.name, "rpc.marshal", proc=proc, xid=xid)
             meta["_span"] = span
-        yield from self.transport.send(self.server, req_bytes, meta=meta)
-        if span is not None:
-            span.mark(self.host.name, "nic.tx")
-        if self.retry is None:
-            response: Message = yield done
-        else:
-            response = yield from self._await_with_retry(
-                xid, done, proc, req_bytes, meta, span)
+        rejects = 0
+        while True:
+            done = Event(self.host.sim)
+            self._pending[xid] = done
+            yield from self.transport.send(self.server, req_bytes,
+                                           meta=meta)
+            if span is not None and rejects == 0:
+                span.mark(self.host.name, "nic.tx")
+            if self.retry is None:
+                response: Message = yield done
+            else:
+                response = yield from self._await_with_retry(
+                    xid, done, proc, req_bytes, meta, span)
+            if not response.meta.get("rpc_rejected"):
+                break
+            # The server's admission scheduler shed this call (bounded
+            # accept queue): back off and retransmit under the same xid.
+            rejects += 1
+            self.stats.incr("rejected_calls")
+            policy = self.reject_retry
+            trace_emit(self.host.sim, self.host.name, "rpc-rejected",
+                       proc=proc, xid=xid, attempt=rejects)
+            if policy is None or rejects > policy.max_retries:
+                self.stats.incr("reject_failures")
+                raise RPCError(
+                    f"{proc} xid={xid}: server admission rejected "
+                    f"{rejects} time(s)")
+            delay = policy.backoff_us(rejects)
+            if span is not None:
+                span.mark(self.host.name, "rpc.rejected", attempt=rejects,
+                          backoff_us=round(delay, 3))
+            if delay > 0.0:
+                yield self.host.sim.timeout(delay)
         if span is not None:
             span.mark(self.host.name, "net.reply")
         yield from cpu.execute(proto.rpc_marshal_us, category="rpc")
@@ -321,6 +349,11 @@ class RPCServer:
         #: duplicate; completed ones replay the recorded reply (writes
         #: must not re-execute: the version bump would change contents).
         self._dup_cache: "OrderedDict[Tuple[str, int], Any]" = OrderedDict()
+        #: Admission/request scheduler (see
+        #: :class:`repro.nas.server.sched.RequestScheduler`). ``None``
+        #: keeps the seed behavior: one concurrent task per arrival,
+        #: unbounded, never rejecting.
+        self.scheduler = None
 
     def crash(self, downtime_us: float) -> bool:
         """Crash the server process: drop requests for ``downtime_us``.
@@ -334,6 +367,10 @@ class RPCServer:
         self.paused = True
         self.stats.incr("crashes")
         self._dup_cache.clear()
+        if self.scheduler is not None:
+            # The accept queue lived in server memory too; clients
+            # recover the dropped requests by retransmission.
+            self.scheduler.drop_all()
         if self.on_crash is not None:
             self.on_crash()
         self.host.sim.call_at(self.host.sim.now + downtime_us,
@@ -348,6 +385,18 @@ class RPCServer:
         if proc in self._handlers:
             raise RPCError(f"handler for {proc!r} already registered")
         self._handlers[proc] = handler
+
+    def attach_scheduler(self, scheduler) -> None:
+        """Route arrivals through an admission/request scheduler.
+
+        With a scheduler attached, incoming requests join its bounded
+        accept queue (or are explicitly rejected when it is full) and at
+        most ``scheduler.service_threads`` handlers run concurrently,
+        dispatched in the scheduler's policy order.
+        """
+        if self.scheduler is not None:
+            raise RPCError("scheduler already attached")
+        self.scheduler = scheduler
 
     def start(self) -> None:
         if self._started:
@@ -365,8 +414,15 @@ class RPCServer:
             if self.paused:
                 self.stats.incr("dropped_while_down")
                 continue
-            self.host.sim.process(self._serve(msg),
-                                  name=f"{self.name}.serve")
+            sched = self.scheduler
+            if sched is None:
+                self.host.sim.process(self._serve(msg),
+                                      name=f"{self.name}.serve")
+            elif sched.admit(msg):
+                self._dispatch()
+            else:
+                self.host.sim.process(self._send_rejection(msg),
+                                      name=f"{self.name}.reject")
 
     def gauges(self) -> Dict[str, Callable[[], float]]:
         """Telemetry probes for a :class:`~repro.sim.TimeSeriesSampler`:
@@ -377,6 +433,57 @@ class RPCServer:
                 self.host.sim, lambda: float(self.stats.get("requests")),
                 scale=1e6),
         }
+
+    def _dispatch(self) -> None:
+        """Start queued requests while service threads are free."""
+        sched = self.scheduler
+        while sched.active < sched.service_threads:
+            entry = sched.pop()
+            if entry is None:
+                return
+            sched.note_active(+1)
+            self.host.sim.process(self._serve_scheduled(entry),
+                                  name=f"{self.name}.serve")
+
+    def _serve_scheduled(self, entry) -> Generator:
+        """One service thread's turn: run the handler, free the slot,
+        and pull the next queued request in policy order."""
+        msg, enqueued = entry
+        span = msg.meta.get("_span")
+        if span is not None:
+            span.mark(self.host.name, "sched.queue",
+                      wait_us=round(self.host.sim.now - enqueued, 3))
+        try:
+            yield from self._serve(msg)
+        finally:
+            sched = self.scheduler
+            sched.note_active(-1)
+            sched.stats.incr("completed")
+            self._dispatch()
+
+    def _send_rejection(self, msg: Message) -> Generator:
+        """Explicit load shedding: a header-only busy reply.
+
+        The client's :attr:`RPCClient.reject_retry` policy turns this
+        into a seeded backoff + retransmission under the same xid; the
+        handler never ran, so nothing enters the duplicate request cache
+        and the retransmission executes normally once admitted.
+        """
+        request = RPCRequest(msg)
+        self.stats.incr("rejections_sent")
+        trace_emit(self.host.sim, self.host.name, "rpc-reject",
+                   proc=request.proc, xid=request.xid,
+                   client=request.client)
+        if request.span is not None:
+            request.span.mark(self.host.name, "sched.reject",
+                              qdepth=len(self.scheduler))
+        cost = self.host.params.sched.reject_reply_us
+        if cost > 0.0:
+            yield from self.host.cpu.execute(cost, category="rpc")
+        yield from self.transport.send(
+            request.client, RPC_HEADER_BYTES,
+            meta={"rpc": "resp", "rpc_xid": request.xid,
+                  "rpc_rejected": True})
 
     def _serve(self, msg: Message) -> Generator:
         self.inflight += 1

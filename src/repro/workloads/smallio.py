@@ -12,16 +12,24 @@ second pass runs entirely over client-initiated ORDMA with no server CPU.
 
 from __future__ import annotations
 
-from typing import Dict, Generator
+from typing import Dict, Generator, Optional
 
 from ..cluster import Cluster
+from ..sim import LatencyStats
 
 
 class MultiClientReadWorkload:
-    """N clients streaming the same warm file through their caches."""
+    """N clients streaming the same warm file through their caches.
+
+    ``latency`` (optional) collects per-application-read response times
+    during the measured final pass — the client-scaling sweep plots its
+    percentiles against client count (queueing delay at a loaded server,
+    Section 2.3).
+    """
 
     def __init__(self, cluster: Cluster, file_name: str, file_size: int,
-                 app_block_size: int, passes: int = 2):
+                 app_block_size: int, passes: int = 2,
+                 latency: Optional[LatencyStats] = None):
         if file_size % app_block_size:
             raise ValueError(
                 "file size must be a multiple of the app block size")
@@ -30,21 +38,28 @@ class MultiClientReadWorkload:
         self.file_size = file_size
         self.app_block_size = app_block_size
         self.passes = passes
+        self.latency = latency
 
     def run(self) -> Dict[str, float]:
+        """Run to completion; returns the measured-pass metrics dict."""
         return self.cluster.sim.run_process(self._main())
 
-    def _one_pass(self, client) -> Generator:
+    def _one_pass(self, client, record: bool = False) -> Generator:
         n = self.file_size // self.app_block_size
+        sim = self.cluster.sim
         for i in range(n):
+            start = sim.now
             yield from client.read(self.file_name,
                                    i * self.app_block_size,
                                    self.app_block_size)
+            if record and self.latency is not None:
+                self.latency.record(sim.now - start)
 
     def _client_main(self, client, barrier_events) -> Generator:
         yield from client.open(self.file_name)
         for p in range(self.passes):
-            yield from self._one_pass(client)
+            yield from self._one_pass(client,
+                                      record=(p == self.passes - 1))
             # Synchronize between passes so the measured pass is clean.
             mine, everyone = barrier_events[p]
             mine.succeed(None)

@@ -43,6 +43,13 @@ class TestRunSuite:
         assert bench["samples"] > 0
         assert bench["normalized"] > 0
 
+    def test_scale_bench_included(self, suite_doc):
+        bench = suite_doc["benches"]["scale_smallio"]
+        assert bench["clients"] == perf.SCALE_CLIENTS[True]
+        assert bench["ops"] == 2 * 16 * bench["clients"]
+        assert bench["rate_key"] == "events_per_s"
+        assert bench["normalized"] > 0
+
     def test_disabled_telemetry_leaves_rpc_reads_digest_unchanged(
             self, suite_doc):
         # The sampler-overhead guard: with telemetry off, the rpc_reads

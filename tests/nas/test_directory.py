@@ -1,8 +1,12 @@
-"""Unit tests for the ORDMA reference directory."""
+"""Unit tests for the ORDMA reference directory — plus multi-client
+scale tests: eight clients' directories under capacity pressure and
+concurrent server-side eviction (never stale, never wrong)."""
 
 import pytest
 
+from repro.cluster import Cluster
 from repro.nas.client.directory import ORDMADirectory, make_policy
+from repro.params import KB
 from repro.proto.ordma import RemoteRef
 
 
@@ -74,3 +78,125 @@ def test_hit_ratio():
 def test_remote_ref_validation():
     with pytest.raises(ValueError):
         RemoteRef("server", 0x1000, 0)
+
+
+# -- multi-client scale (>= 8 clients against one server) ---------------------
+
+
+N_CLIENTS = 8
+BLOCKS = 8
+
+
+def make_scaled_odafs(n_clients=N_CLIENTS, directory_capacity=1 << 20,
+                      cache_blocks=2):
+    return Cluster(system="odafs", n_clients=n_clients, block_size=4 * KB,
+                   client_kwargs={"cache_blocks": cache_blocks,
+                                  "rpc_read_mode": "direct",
+                                  "directory_capacity": directory_capacity})
+
+
+def scan_all(cluster, blocks=BLOCKS, passes=1):
+    """Every client scans the file ``passes`` times; returns per-client
+    lists of block tuples from the final pass."""
+    sim = cluster.sim
+    out = [None] * len(cluster.clients)
+
+    def client_main(idx):
+        client = cluster.clients[idx]
+        yield from client.open("f")
+        for _ in range(passes):
+            got = []
+            for i in range(blocks):
+                got.append((yield from client.read("f", i * 4 * KB,
+                                                   4 * KB)))
+            out[idx] = got
+
+    def main():
+        procs = [sim.process(client_main(i), name=f"scan{i}")
+                 for i in range(len(cluster.clients))]
+        yield sim.all_of(procs)
+
+    sim.run_process(main())
+    return out
+
+
+def test_eight_client_directories_respect_capacity():
+    """Every client's reference directory stays within its capacity
+    bound even when the working set is twice its size."""
+    cluster = make_scaled_odafs(directory_capacity=4)
+    cluster.create_file("f", BLOCKS * 4 * KB)
+    results = scan_all(cluster, passes=2)
+    for got in results:
+        assert got == [("f", i, 0) for i in range(BLOCKS)]
+    for client in cluster.clients:
+        assert len(client.directory) <= 4
+        assert client.directory.stats.get("evictions") > 0
+
+
+def test_eight_clients_all_go_optimistic_on_the_warm_pass():
+    """With ample directory capacity, the second pass runs over ORDMA on
+    every one of the eight clients (the scale-out claim: no server CPU)."""
+    cluster = make_scaled_odafs()
+    cluster.create_file("f", BLOCKS * 4 * KB)
+    results = scan_all(cluster, passes=2)
+    for got in results:
+        assert got == [("f", i, 0) for i in range(BLOCKS)]
+    for client in cluster.clients:
+        assert client.stats.get("ordma_reads") >= BLOCKS
+        assert client.stats.get("ordma_faults") == 0
+
+
+def test_eight_clients_never_stale_after_server_eviction():
+    """The server rewrites and evicts every block after the clients have
+    built their directories; each of the eight clients' stale references
+    must fault and refetch — every re-read sees the new version, never
+    the old one."""
+    cluster = make_scaled_odafs()
+    cluster.create_file("f", BLOCKS * 4 * KB)
+    scan_all(cluster, passes=1)                  # warm all 8 directories
+    for i in range(BLOCKS):                      # server-side update
+        cluster.fs.write_block("f", i, now=cluster.sim.now)
+        cluster.cache.invalidate(("f", i))
+    results = scan_all(cluster, passes=1)
+    for got in results:
+        assert got == [("f", i, 1) for i in range(BLOCKS)]
+    for client in cluster.clients:
+        assert client.stats.get("ordma_faults") >= 1
+
+
+def test_eight_clients_survive_a_racing_invalidation_storm():
+    """The whole export map is torn down while eight clients are
+    mid-scan; every read on every client still returns correct data."""
+    cluster = make_scaled_odafs()
+    cluster.create_file("f", BLOCKS * 4 * KB)
+    scan_all(cluster, passes=1)
+    cluster.sim.call_at(cluster.sim.now + 5.0, cluster.cache.clear)
+    results = scan_all(cluster, passes=1)
+    for got in results:
+        assert got == [("f", i, 0) for i in range(BLOCKS)]
+    total_faults = sum(c.stats.get("ordma_faults")
+                       for c in cluster.clients)
+    assert total_faults >= 1
+
+
+def test_eight_clients_with_admission_scheduler_and_eviction():
+    """Scale pressure end to end: tiny accept queue, one service thread,
+    server eviction mid-run — correctness holds on all eight clients."""
+    from repro.params import default_params
+    p = default_params()
+    p.sched.policy = "fair"
+    p.sched.service_threads = 1
+    p.sched.max_queue = 2
+    cluster = Cluster(p, system="odafs", n_clients=N_CLIENTS,
+                      block_size=4 * KB,
+                      client_kwargs={"cache_blocks": 2,
+                                     "rpc_read_mode": "direct"})
+    cluster.create_file("f", BLOCKS * 4 * KB)
+    scan_all(cluster, passes=1)
+    cluster.sim.call_at(cluster.sim.now + 5.0, cluster.cache.clear)
+    results = scan_all(cluster, passes=1)
+    for got in results:
+        assert got == [("f", i, 0) for i in range(BLOCKS)]
+    stats = cluster.scheduler.stats
+    assert stats.get("admitted") == stats.get("dispatched")
+    assert stats.get("dispatched") == stats.get("completed")

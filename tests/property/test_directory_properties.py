@@ -1,0 +1,91 @@
+"""Property-based invariants for the ORDMA reference directory.
+
+The optimistic protocol's safety rests on two directory facts (Section
+4.2): the directory never grows past its capacity bound, and an
+invalidated reference can never be probed again until the server hands
+out a fresh one. Both must hold for every policy over arbitrary
+insert/probe/invalidate interleavings — exactly what a multi-client run
+generates when eight clients race one server's eviction decisions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nas.client.directory import ORDMADirectory
+from repro.proto.ordma import RemoteRef
+
+#: An operation stream over a small hot key space (forces collisions).
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "probe", "invalidate"]),
+              st.integers(min_value=0, max_value=15)),
+    min_size=1, max_size=120)
+
+
+def ref(i):
+    return RemoteRef("server", 0x1000 * (i + 1), 4096)
+
+
+class TestDirectoryProperties:
+    @settings(max_examples=150)
+    @given(st.integers(min_value=1, max_value=8),
+           st.sampled_from(["lru", "mq"]), ops)
+    def test_capacity_bound_always_holds(self, capacity, policy, stream):
+        directory = ORDMADirectory(capacity, policy=policy)
+        for op, key in stream:
+            if op == "insert":
+                directory.insert(f"k{key}", ref(key))
+            elif op == "probe":
+                directory.probe(f"k{key}")
+            else:
+                directory.invalidate(f"k{key}")
+            assert len(directory) <= capacity
+
+    @settings(max_examples=150)
+    @given(st.integers(min_value=1, max_value=8),
+           st.sampled_from(["lru", "mq"]), ops)
+    def test_invalidated_refs_stay_gone_until_reinserted(
+            self, capacity, policy, stream):
+        """Model-checked staleness: track the live key set by hand; a
+        probe may miss spuriously (eviction) but can never return a
+        reference for a key whose last event was an invalidation."""
+        directory = ORDMADirectory(capacity, policy=policy)
+        live = {}
+        for op, key in stream:
+            name = f"k{key}"
+            if op == "insert":
+                directory.insert(name, ref(key))
+                live[name] = ref(key)
+            elif op == "invalidate":
+                directory.invalidate(name)
+                live.pop(name, None)
+            else:
+                got = directory.probe(name)
+                if name not in live:
+                    assert got is None
+                else:
+                    assert got is None or got == live[name]
+
+    @settings(max_examples=100)
+    @given(st.integers(min_value=1, max_value=8), ops)
+    def test_stats_balance(self, capacity, stream):
+        """hits + misses == probes, and inserts - evictions -
+        invalidations == resident entries."""
+        directory = ORDMADirectory(capacity)
+        probes = inserts = 0
+        for op, key in stream:
+            name = f"k{key}"
+            if op == "insert":
+                fresh = directory.probe(name) is None
+                probes += 1
+                directory.insert(name, ref(key))
+                if fresh:
+                    inserts += 1
+            elif op == "probe":
+                directory.probe(name)
+                probes += 1
+            else:
+                directory.invalidate(name)
+        stats = directory.stats
+        assert stats.get("hits") + stats.get("misses") == probes
+        assert inserts - stats.get("evictions") \
+            - stats.get("invalidations") == len(directory)

@@ -1,0 +1,202 @@
+"""Property-based invariants for the server admission scheduler.
+
+Two families:
+
+* pure scheduler properties over arbitrary admit/pop interleavings —
+  conservation (every admitted request is popped exactly once, every
+  overflow is explicitly counted) and fair-share starvation freedom
+  (a client with a backlog is served within one rotation);
+* end-to-end conservation through the RPC server — every application
+  read completes with correct data and the scheduler's counters balance,
+  including under injected link loss with retransmission.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.faults import Injector
+from repro.nas.server.sched import RequestScheduler
+from repro.net.packet import Message, MsgKind
+from repro.params import KB, default_params
+from repro.sim import Simulator
+
+
+def msg(src, xid):
+    return Message(MsgKind.ETH, src, "server", 128,
+                   meta={"rpc": "req", "rpc_xid": xid})
+
+
+#: An arrival schedule: (client index, burst length) pairs.
+arrivals = st.lists(st.tuples(st.integers(min_value=0, max_value=7),
+                              st.integers(min_value=1, max_value=6)),
+                    min_size=1, max_size=24)
+
+
+class TestSchedulerConservation:
+    @settings(max_examples=100)
+    @given(arrivals, st.sampled_from(["fifo", "fair"]),
+           st.integers(min_value=1, max_value=16))
+    def test_admit_pop_conserves_every_message(self, schedule, policy,
+                                               max_queue):
+        """admitted == popped + rejected-at-admission, each exactly once."""
+        sched = RequestScheduler(Simulator(), policy=policy,
+                                 max_queue=max_queue)
+        offered, admitted = [], 0
+        xid = 0
+        for client, burst in schedule:
+            for _ in range(burst):
+                m = msg(f"c{client}", xid)
+                xid += 1
+                offered.append(m)
+                if sched.admit(m):
+                    admitted += 1
+        popped = []
+        while True:
+            entry = sched.pop()
+            if entry is None:
+                break
+            popped.append(entry[0])
+        assert len(popped) == admitted
+        assert sched.stats.get("rejected") == len(offered) - admitted
+        # Exactly-once: the popped multiset is a sub-multiset of offers.
+        assert len({id(m) for m in popped}) == len(popped)
+        assert sched.stats.get("admitted") == admitted
+        assert sched.stats.get("dispatched") == admitted
+        assert len(sched) == 0
+
+    @settings(max_examples=100)
+    @given(arrivals, st.integers(min_value=1, max_value=16))
+    def test_fifo_preserves_arrival_order(self, schedule, max_queue):
+        sched = RequestScheduler(Simulator(), policy="fifo",
+                                 max_queue=max_queue)
+        admitted = []
+        xid = 0
+        for client, burst in schedule:
+            for _ in range(burst):
+                m = msg(f"c{client}", xid)
+                xid += 1
+                if sched.admit(m):
+                    admitted.append(m.meta["rpc_xid"])
+        popped = []
+        while (entry := sched.pop()) is not None:
+            popped.append(entry[0].meta["rpc_xid"])
+        assert popped == admitted
+
+    @settings(max_examples=100)
+    @given(arrivals)
+    def test_fair_share_never_starves_a_client(self, schedule):
+        """Every client with queued work is served within one rotation:
+        between consecutive pops of the same client, each *other*
+        backlogged client appears at most once."""
+        sched = RequestScheduler(Simulator(), policy="fair",
+                                 max_queue=1024)
+        for client, burst in schedule:
+            for i in range(burst):
+                sched.admit(msg(f"c{client}", i))
+        served = []
+        while (entry := sched.pop()) is not None:
+            served.append(entry[0].src)
+        # Within any window between successive serves of client X, no
+        # other client is served twice while X still has a backlog.
+        last_seen = {}
+        for pos, client in enumerate(served):
+            if client in last_seen:
+                window = served[last_seen[client] + 1:pos]
+                assert all(window.count(other) <= 1
+                           for other in set(window)), \
+                    f"starvation window {window} before {client}"
+            last_seen[client] = pos
+
+    @settings(max_examples=100)
+    @given(arrivals, st.sampled_from(["fifo", "fair"]))
+    def test_drop_all_accounts_for_every_queued_request(self, schedule,
+                                                        policy):
+        sched = RequestScheduler(Simulator(), policy=policy,
+                                 max_queue=1024)
+        total = 0
+        for client, burst in schedule:
+            for i in range(burst):
+                sched.admit(msg(f"c{client}", i))
+                total += 1
+        assert sched.drop_all() == total
+        assert sched.stats.get("dropped_at_crash") == total
+        assert sched.pop() is None
+
+
+def run_scaled_reads(cluster, blocks=8):
+    """All clients read the whole file; returns per-client result lists."""
+    sim = cluster.sim
+    out = [None] * len(cluster.clients)
+
+    def client_main(idx):
+        client = cluster.clients[idx]
+        yield from client.open("f")
+        got = []
+        for i in range(blocks):
+            got.append((yield from client.read("f", i * 4 * KB, 4 * KB)))
+        out[idx] = got
+
+    def main():
+        procs = [sim.process(client_main(i), name=f"p{i}")
+                 for i in range(len(cluster.clients))]
+        yield sim.all_of(procs)
+
+    sim.run_process(main())
+    return out
+
+
+class TestEndToEndConservation:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(min_value=2, max_value=8),
+           st.integers(min_value=1, max_value=3),
+           st.integers(min_value=1, max_value=8),
+           st.sampled_from(["fifo", "fair"]))
+    def test_every_read_completes_once_despite_shedding(
+            self, n_clients, threads, queue, policy):
+        """Whatever the pool/queue sizing, no read is lost or duplicated
+        and the scheduler's ledger balances when the system drains."""
+        p = default_params()
+        p.sched.policy = policy
+        p.sched.service_threads = threads
+        p.sched.max_queue = queue
+        cluster = Cluster(p, system="nfs", n_clients=n_clients,
+                          block_size=4 * KB,
+                          client_kwargs={"bcache_entries": 2})
+        cluster.create_file("f", 32 * KB)
+        results = run_scaled_reads(cluster, blocks=8)
+        for got in results:
+            assert got == [("f", i, 0) for i in range(8)]
+        stats = cluster.scheduler.stats
+        assert stats.get("admitted") == stats.get("dispatched")
+        assert stats.get("dispatched") == stats.get("completed")
+        assert len(cluster.scheduler) == 0
+        assert cluster.scheduler.active == 0
+        assert cluster.scheduler.peak_active <= threads
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 31),
+           st.floats(min_value=0.01, max_value=0.15))
+    def test_conservation_holds_under_link_loss(self, seed, loss):
+        """Retransmissions re-enter admission; the ledger still balances
+        (every admitted arrival is dispatched and completed — duplicate
+        executions are absorbed by the xid cache, not double-served)."""
+        p = default_params().copy(seed=seed)
+        p.sched.policy = "fair"
+        p.sched.service_threads = 2
+        p.sched.max_queue = 8
+        cluster = Cluster(p, system="nfs", n_clients=4,
+                          block_size=4 * KB,
+                          client_kwargs={"bcache_entries": 2})
+        cluster.create_file("f", 32 * KB)
+        injector = Injector(cluster)
+        injector.link_loss(loss)
+        injector.enable_resilience(timeout_us=2000.0, max_retries=16)
+        results = run_scaled_reads(cluster, blocks=8)
+        for got in results:
+            assert got == [("f", i, 0) for i in range(8)]
+        stats = cluster.scheduler.stats
+        assert stats.get("admitted") == stats.get("dispatched")
+        assert stats.get("dispatched") == stats.get("completed")
+        assert len(cluster.scheduler) == 0
+        assert cluster.scheduler.active == 0
