@@ -24,7 +24,6 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Any, Dict, Optional, Sequence, Tuple
 
@@ -35,7 +34,8 @@ from ..params import KB, Params, default_params
 from ..proto.rpc import RPCError
 from ..sim import LatencyStats, SimulationError, Tracer
 from .plot import ascii_chart
-from .runner import run_points
+from .runner import add_campaign_args, campaign_json, run_grid, \
+    seeded_params
 
 #: One injectable failure domain per campaign axis.
 FAULT_CLASSES = ("link", "nic", "disk", "server")
@@ -181,12 +181,8 @@ def chaos_campaign(params: Optional[Params] = None,
              for system in systems
              for fault_class in fault_classes
              for rate in rates]
-    points = run_points(_campaign_point, specs, jobs=jobs)
-    results: Dict[str, Any] = {}
-    for (system, fault_class, rate, _, _, _), point in zip(specs, points):
-        results.setdefault(system, {}) \
-               .setdefault(fault_class, {})[f"{rate:.4f}"] = point
-    return results
+    return run_grid(_campaign_point, specs,
+                    lambda s: (s[0], s[1], f"{s[2]:.4f}"), jobs=jobs)
 
 
 def campaign_failures(results: Dict[str, Any]) -> int:
@@ -264,25 +260,17 @@ def main(argv=None) -> int:
                         help="4 KB blocks per pass (default 64)")
     parser.add_argument("--passes", type=int, default=2,
                         help="read passes over the file (default 2)")
-    parser.add_argument("--seed", type=int, default=None,
-                        help="master seed for all fault/jitter streams")
     parser.add_argument("--quick", action="store_true",
                         help="smaller grid (24 blocks, 3 rates)")
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="worker processes for the campaign grid "
-                             "(default: serial; output is byte-identical "
-                             "for any job count)")
-    parser.add_argument("--json", action="store_true",
-                        help="emit the raw campaign results as JSON")
+    add_campaign_args(parser,
+                      seed_help="master seed for all fault/jitter streams")
     parser.add_argument("--dump", metavar="PATH",
                         help="also run one traced point (first system/"
                              "class, highest rate) and dump its trace "
                              "as JSONL for 'repro-bench trace --input'")
     args = parser.parse_args(argv)
 
-    params = default_params()
-    if args.seed is not None:
-        params = params.copy(seed=args.seed)
+    params = seeded_params(args.seed)
     rates = tuple(args.rates) if args.rates else \
         (QUICK_RATES if args.quick else DEFAULT_RATES)
     blocks = 24 if args.quick else args.blocks
@@ -300,9 +288,8 @@ def main(argv=None) -> int:
         tracer.dump_jsonl(args.dump)
 
     if args.json:
-        print(json.dumps({"seed": params.seed, "rates": list(rates),
-                          "blocks": blocks, "passes": args.passes,
-                          "results": results}, indent=2))
+        print(campaign_json(results, seed=params.seed, rates=list(rates),
+                            blocks=blocks, passes=args.passes))
     else:
         print(f"Chaos campaign — seed {params.seed}, {blocks}x4KB blocks "
               f"x{args.passes} passes per point")

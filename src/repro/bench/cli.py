@@ -212,6 +212,10 @@ def main(argv=None) -> int:
         # Client-scaling sweeps against the admission scheduler.
         from .scale import main as scale_main
         return scale_main(list(argv[1:]))
+    if argv and argv[0] == "shard":
+        # Multi-server scale-out sweeps over the shard layer.
+        from .shard import main as shard_main
+        return shard_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -221,12 +225,13 @@ def main(argv=None) -> int:
                     "degradation campaigns, 'perf' benchmarks the "
                     "simulation engine itself, 'telemetry' renders "
                     "sampled gauge timelines, 'scale' sweeps client "
-                    "counts against the server admission scheduler "
+                    "counts against the server admission scheduler, "
+                    "'shard' sweeps server counts over striped files "
                     "(repro-bench perf --help).")
     parser.add_argument("target", choices=list(TARGETS) + ["all"],
                         help="which table/figure to regenerate (or "
-                             "'trace'/'chaos'/'perf'/'telemetry'/'scale' "
-                             "subcommands)")
+                             "'trace'/'chaos'/'perf'/'telemetry'/'scale'"
+                             "/'shard' subcommands)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller workloads (same shapes, faster)")
     parser.add_argument("--seed", type=int, default=None,

@@ -21,10 +21,14 @@ Workers must be module-level functions and point specs must be picklable
 
 from __future__ import annotations
 
+import argparse
 import hashlib
+import json
 import multiprocessing
 import os
-from typing import Any, Callable, List, Optional, Sequence
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
+
+from ..params import Params, default_params
 
 #: Environment override for the default job count (used by CI).
 JOBS_ENV = "REPRO_BENCH_JOBS"
@@ -85,3 +89,52 @@ def run_points(fn: Callable[[Any], Any], points: Sequence[Any],
     ctx = _pool_context()
     with ctx.Pool(processes=min(jobs, len(points))) as pool:
         return pool.map(fn, points, chunksize=chunksize)
+
+
+def run_grid(fn: Callable[[Any], Any], specs: Sequence[Any],
+             path_of: Callable[[Any], Tuple],
+             jobs: Optional[int] = None) -> Dict[str, Any]:
+    """Run a spec grid and fold the points into a nested result dict.
+
+    ``path_of(spec)`` names where a spec's point lands: a tuple of dict
+    keys, outermost first (e.g. ``(system, fault_class, "0.0100")``).
+    Insertion order follows spec order, so the folded dict — and JSON
+    dumped from it — is byte-identical for any ``jobs`` count.
+    """
+    specs = list(specs)
+    points = run_points(fn, specs, jobs=jobs)
+    results: Dict[str, Any] = {}
+    for spec, point in zip(specs, points):
+        path = path_of(spec)
+        node = results
+        for key in path[:-1]:
+            node = node.setdefault(key, {})
+        node[path[-1]] = point
+    return results
+
+
+def seeded_params(seed: Optional[int],
+                  params: Optional[Params] = None) -> Params:
+    """The campaign's base :class:`Params`, reseeded when ``--seed`` was
+    given. Every campaign CLI resolves its master seed through this."""
+    p = params if params is not None else default_params()
+    return p.copy(seed=seed) if seed is not None else p
+
+
+def add_campaign_args(parser: argparse.ArgumentParser,
+                      seed_help: str = "master seed for every RNG "
+                                       "stream") -> None:
+    """The ``--seed/--jobs/--json`` trio every campaign CLI shares."""
+    parser.add_argument("--seed", type=int, default=None, help=seed_help)
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the campaign grid "
+                             "(default: serial; output is byte-identical "
+                             "for any job count)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw campaign results as JSON")
+
+
+def campaign_json(results: Any, **header: Any) -> str:
+    """The canonical campaign JSON: header fields in keyword order, then
+    ``results``, 2-space indent — the byte layout the CI smoke jobs diff."""
+    return json.dumps({**header, "results": results}, indent=2)

@@ -34,7 +34,6 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Any, Dict, Generator, List, Optional, Sequence
 
@@ -43,7 +42,8 @@ from ..params import KB, Params, default_params
 from ..sim import LatencyStats
 from ..workloads.smallio import MultiClientReadWorkload
 from .plot import ascii_chart
-from .runner import run_points
+from .runner import add_campaign_args, campaign_json, run_grid, \
+    seeded_params
 
 #: Workload mixes the campaign can sweep.
 MIXES = ("smallio", "postmark")
@@ -261,11 +261,8 @@ def scale_campaign(params: Optional[Params] = None,
              for mix in mixes
              for system in systems
              for n in client_counts]
-    points = run_points(_scale_point, specs, jobs=jobs)
-    results: Dict[str, Any] = {}
-    for spec, point in zip(specs, points):
-        mix, system, n = spec[0], spec[1], spec[2]
-        results.setdefault(mix, {}).setdefault(system, {})[str(n)] = point
+    results = run_grid(_scale_point, specs,
+                       lambda s: (s[0], s[1], str(s[2])), jobs=jobs)
     for mix in results:
         results[mix]["summary"] = saturation_summary(
             {s: pts for s, pts in results[mix].items() if s != "summary"})
@@ -349,22 +346,13 @@ def main(argv=None) -> int:
                              "(default 4)")
     parser.add_argument("--queue", type=int, default=32,
                         help="server accept-queue bound (default 32)")
-    parser.add_argument("--seed", type=int, default=None,
-                        help="master seed for every RNG stream")
     parser.add_argument("--quick", action="store_true",
                         help="smaller grid (1..8 clients, nfs+odafs, "
                              "smallio only)")
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="worker processes for the grid (default: "
-                             "serial; output is byte-identical for any "
-                             "job count)")
-    parser.add_argument("--json", action="store_true",
-                        help="emit the raw campaign results as JSON")
+    add_campaign_args(parser)
     args = parser.parse_args(argv)
 
-    params = default_params()
-    if args.seed is not None:
-        params = params.copy(seed=args.seed)
+    params = seeded_params(args.seed)
     systems = tuple(args.systems) if args.systems else \
         (QUICK_SYSTEMS if args.quick else DEFAULT_SYSTEMS)
     counts = tuple(args.clients) if args.clients else \
@@ -384,12 +372,10 @@ def main(argv=None) -> int:
                              max_queue=args.queue, jobs=args.jobs)
 
     if args.json:
-        print(json.dumps({"seed": params.seed,
-                          "clients": list(counts),
-                          "policy": args.policy,
-                          "service_threads": args.threads,
-                          "max_queue": args.queue,
-                          "results": results}, indent=2))
+        print(campaign_json(results, seed=params.seed,
+                            clients=list(counts), policy=args.policy,
+                            service_threads=args.threads,
+                            max_queue=args.queue))
     else:
         print(f"Client-scaling campaign — seed {params.seed}, policy "
               f"{args.policy}, {args.threads} service threads, queue "

@@ -57,9 +57,6 @@ class Cluster:
             raise ValueError(f"unknown system {system!r}; one of {SYSTEMS}")
         self.params = params or default_params()
         self.system = system
-        # Fresh message-id space per cluster: same-seed runs must stay
-        # byte-identical even when one process wires several clusters.
-        reset_msg_ids()
         self.sim = Simulator()
         self.rand = RandomStreams(self.params.seed)
         # The switch draws loss decisions from a named stream of the
@@ -123,6 +120,24 @@ class Cluster:
         self._register_metrics()
         #: Continuous telemetry; ``None`` until :meth:`attach_sampler`.
         self.sampler: Optional[TimeSeriesSampler] = None
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every id space a run consumes: the module-global message
+        ids and each RPC endpoint's xid/session state.
+
+        Called automatically at the end of wiring, so same-seed runs stay
+        byte-identical even when one process builds several clusters in
+        sequence — bench code must never call ``reset_msg_ids`` (or poke
+        RPC internals) directly.
+        """
+        reset_msg_ids()
+        self.server.rpc.reset_session()
+        for client in self.clients:
+            # A shard router fronts one RPC client per server; plain
+            # clients are their own single "subclient".
+            for sub in getattr(client, "subclients", None) or [client]:
+                sub.rpc.reset_session()
 
     def _register_metrics(self) -> None:
         reg = self.metrics

@@ -50,6 +50,38 @@ class Injector:
     def _stream(self, name: str) -> random.Random:
         return self.cluster.rand.stream(f"{self.stream_prefix}.{name}")
 
+    # -- single- vs multi-server topology ----------------------------------
+
+    def _servers(self) -> List:
+        """The cluster's file servers (one for :class:`repro.cluster.
+        Cluster`, N for a :class:`~repro.nas.shard.ShardedCluster`)."""
+        servers = getattr(self.cluster, "servers", None)
+        return list(servers) if servers is not None \
+            else [self.cluster.server]
+
+    def _server_hosts(self) -> List:
+        hosts = getattr(self.cluster, "server_hosts", None)
+        return list(hosts) if hosts is not None \
+            else [self.cluster.server_host]
+
+    def _disks(self) -> List:
+        disks = getattr(self.cluster, "disks", None)
+        return list(disks) if disks is not None else [self.cluster.disk]
+
+    def _caches(self) -> List:
+        caches = getattr(self.cluster, "caches", None)
+        return list(caches) if caches is not None else [self.cluster.cache]
+
+    def _label(self, index: int) -> str:
+        """Stream-name suffix for server-side component ``index``.
+
+        Single-server clusters keep the historical bare names
+        (``server``, ``disk``, ``retry.client0``) so their campaigns
+        stay byte-identical; sharded clusters get indexed streams
+        (``server0``, ``disk1``, …).
+        """
+        return str(index) if hasattr(self.cluster, "servers") else ""
+
     # -- adapter installation (lazy; one per component) --------------------
 
     @property
@@ -68,36 +100,51 @@ class Injector:
                 stats=self.stats, component=host.name)
         return host.nic.faults
 
-    @property
-    def disk(self) -> DiskFaults:
-        disk = self.cluster.disk
+    def disk_faults(self, index: int = 0) -> DiskFaults:
+        """The fault adapter for server ``index``'s disk."""
+        disk = self._disks()[index]
         if disk.faults is None:
-            disk.faults = DiskFaults(self.sim, self._stream("disk"),
-                                     stats=self.stats, component=disk.name)
+            disk.faults = DiskFaults(
+                self.sim, self._stream(f"disk{self._label(index)}"),
+                stats=self.stats, component=disk.name)
         return disk.faults
 
     @property
-    def server(self) -> ServerFaults:
-        rpc = self.cluster.server.rpc
+    def disk(self) -> DiskFaults:
+        return self.disk_faults(0)
+
+    def server_faults(self, index: int = 0) -> ServerFaults:
+        """The fault adapter for server ``index``'s RPC process."""
+        rpc = self._servers()[index].rpc
         if rpc.faults is None:
             rpc.faults = ServerFaults(
-                self.sim, self._stream("server"), stats=self.stats,
-                component=self.cluster.server_host.name)
-            rpc.on_crash = self._server_state_loss
+                self.sim, self._stream(f"server{self._label(index)}"),
+                stats=self.stats,
+                component=self._server_hosts()[index].name)
+            rpc.on_crash = self._state_loss_of(index)
         return rpc.faults
 
-    def _all_hosts(self):
-        return [self.cluster.server_host] + list(self.cluster.client_hosts)
+    @property
+    def server(self) -> ServerFaults:
+        return self.server_faults(0)
 
-    def _server_state_loss(self) -> None:
-        """Crash consequence: the file cache does not survive a restart.
+    def _all_hosts(self):
+        return self._server_hosts() + list(self.cluster.client_hosts)
+
+    def _state_loss_of(self, index: int):
+        """Crash consequence for server ``index``: its file cache does
+        not survive a restart.
 
         Dropping the blocks deregisters their TPT segments, so every
         ORDMA reference clients still hold is now stale and will fault —
         the recovery story of Section 4.1 at whole-cache scale.
         """
-        lost = self.cluster.cache.clear()
-        self.stats.incr("server.cache_blocks_lost", lost)
+        cache = self._caches()[index]
+
+        def lose_state() -> None:
+            lost = cache.clear()
+            self.stats.incr("server.cache_blocks_lost", lost)
+        return lose_state
 
     # -- steady-state rate configuration ----------------------------------
 
@@ -129,27 +176,34 @@ class Injector:
             nf.stall_us = stall_us
 
     def ordma_rejects(self, p: float) -> None:
-        """Make the server NIC fault optimistic accesses at rate ``p``."""
-        self.nic(self.cluster.server_host).ordma_reject_p = p
+        """Make the server NICs fault optimistic accesses at rate ``p``."""
+        for host in self._server_hosts():
+            self.nic(host).ordma_reject_p = p
 
     def disk_errors(self, p: float,
                     max_retries: Optional[int] = None) -> None:
         """Fail disk accesses with probability ``p`` (transient)."""
-        self.disk.error_p = p
-        if max_retries is not None:
-            self.disk.max_retries = max_retries
+        for k in range(len(self._disks())):
+            df = self.disk_faults(k)
+            df.error_p = p
+            if max_retries is not None:
+                df.max_retries = max_retries
 
     def disk_delays(self, p: float, spike_us: float) -> None:
         """Add a ``spike_us`` positioning spike with probability ``p``."""
-        self.disk.delay_p = p
-        self.disk.delay_us = spike_us
+        for k in range(len(self._disks())):
+            df = self.disk_faults(k)
+            df.delay_p = p
+            df.delay_us = spike_us
 
     def server_crashes(self, p: float,
                        downtime_us: Optional[float] = None) -> None:
-        """Crash the server with probability ``p`` per arriving request."""
-        self.server.crash_p = p
-        if downtime_us is not None:
-            self.server.downtime_us = downtime_us
+        """Crash each server with probability ``p`` per arriving request."""
+        for k in range(len(self._servers())):
+            sf = self.server_faults(k)
+            sf.crash_p = p
+            if downtime_us is not None:
+                sf.downtime_us = downtime_us
 
     # -- scheduled faults ---------------------------------------------------
 
@@ -177,21 +231,24 @@ class Injector:
                       lambda: link.heal(*hosts))
 
     def schedule_server_crash(self, sched: FaultSchedule,
-                              downtime_us: Optional[float] = None) -> None:
-        """Crash the server at each fire time (restart after downtime)."""
-        server = self.server
-        rpc = self.cluster.server.rpc
-        self.schedule(sched, "server-crash",
-                      lambda: server.crash_now(rpc, downtime_us))
+                              downtime_us: Optional[float] = None,
+                              shard: int = 0) -> None:
+        """Crash server ``shard`` at each fire time (restart after
+        downtime). ``shard`` is only meaningful on sharded clusters."""
+        faults = self.server_faults(shard)
+        rpc = self._servers()[shard].rpc
+        self.schedule(sched, f"server-crash{self._label(shard)}",
+                      lambda: faults.crash_now(rpc, downtime_us))
 
     def schedule_ordma_storm(self, sched: FaultSchedule,
-                             count: int = 8) -> None:
-        """At each fire, fault the next ``count`` optimistic accesses."""
-        nf = self.nic(self.cluster.server_host)
+                             count: int = 8, shard: int = 0) -> None:
+        """At each fire, fault the next ``count`` optimistic accesses
+        against server ``shard``'s NIC."""
+        nf = self.nic(self._server_hosts()[shard])
 
         def storm() -> None:
             nf.ordma_reject_next += count
-        self.schedule(sched, "ordma-storm", storm)
+        self.schedule(sched, f"ordma-storm{self._label(shard)}", storm)
 
     def _run_schedule(self, sched: FaultSchedule, name: str,
                       on_start: Callable[[], None],
@@ -234,12 +291,25 @@ class Injector:
         event ordering relative to an un-injected run.
         """
         for i, client in enumerate(self.cluster.clients):
-            client.rpc.retry = RetryPolicy(
-                timeout_us=timeout_us, max_retries=max_retries,
-                backoff_base_us=backoff_base_us,
-                backoff_factor=backoff_factor,
-                backoff_cap_us=backoff_cap_us, jitter=jitter,
-                rng=self._stream(f"retry.client{i}"))
+            subclients = getattr(client, "subclients", None)
+            if subclients is None:
+                # Plain client: one RPC endpoint, historical stream name.
+                targets = [(f"retry.client{i}", client)]
+            else:
+                # Shard router: one retry policy (and stream) per
+                # per-server subclient, so a retransmission storm on one
+                # shard never perturbs another shard's jitter draws.
+                targets = [(f"retry.client{i}.s{k}", sub)
+                           for k, sub in enumerate(subclients)]
+            for stream_name, endpoint in targets:
+                endpoint.rpc.retry = RetryPolicy(
+                    timeout_us=timeout_us, max_retries=max_retries,
+                    backoff_base_us=backoff_base_us,
+                    backoff_factor=backoff_factor,
+                    backoff_cap_us=backoff_cap_us, jitter=jitter,
+                    rng=self._stream(stream_name))
             client.host.nic.rdma_timeout_us = rdma_timeout_us
-        self.cluster.server_host.nic.rdma_timeout_us = rdma_timeout_us
-        self.cluster.server.rdma_put_retries = rdma_put_retries
+        for host in self._server_hosts():
+            host.nic.rdma_timeout_us = rdma_timeout_us
+        for server in self._servers():
+            server.rdma_put_retries = rdma_put_retries

@@ -1,0 +1,21 @@
+"""Sharded multi-server NAS: striping, client-side routing, failover.
+
+The paper's Fig. 7 shows the *single server* is what saturates once
+ORDMA removes its CPU from the data path; this package is the scale-out
+continuation. Files are striped over N servers by a seeded placement
+policy (:mod:`placement`), each client routes block reads itself through
+one transport per server (:mod:`router` — the Storm-style client-driven
+dataplane that composes with client-initiated ORDMA), and
+:class:`ShardedCluster` (:mod:`cluster`) wires N full servers — own
+disk, file cache, scheduler — behind the existing switch.
+"""
+
+from .placement import (HashPlacement, Placement, StripePlacement,
+                        make_placement)
+from .router import ShardDownError, ShardRouter
+from .cluster import SHARD_SYSTEMS, ShardedCluster
+
+__all__ = [
+    "HashPlacement", "Placement", "StripePlacement", "make_placement",
+    "ShardDownError", "ShardRouter", "SHARD_SYSTEMS", "ShardedCluster",
+]

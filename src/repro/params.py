@@ -245,6 +245,43 @@ class SchedParams:
 
 
 @dataclass
+class ShardParams:
+    """Multi-server striping and client-side routing (scale-out runs).
+
+    The paper's testbed stops at one server; these knobs configure the
+    sharded continuation: files striped over ``n_servers``, each client
+    holding one transport per server and routing block reads itself (the
+    Storm-style client-driven dataplane that composes with ORDMA because
+    both keep the server CPU out of the data path). ``n_servers=1`` (the
+    default) is the paper configuration: :class:`repro.cluster.Cluster`
+    ignores this block entirely, and a one-server
+    :class:`~repro.nas.shard.ShardedCluster` routes every block to the
+    only shard.
+    """
+
+    #: Server count files are striped over.
+    n_servers: int = 1
+    #: Placement policy: "stripe" (static block striping, round-robin
+    #: stripe units from a per-file seeded base) or "hash" (seeded
+    #: consistent hashing of (file, stripe unit) over a virtual-node
+    #: ring, so growing the server set moves only ~1/N of the blocks).
+    placement: str = "stripe"
+    #: Contiguous blocks per stripe unit (both policies place whole
+    #: stripe units, not single blocks).
+    stripe_blocks: int = 1
+    #: Virtual nodes per server on the consistent-hash ring.
+    hash_vnodes: int = 64
+    #: Extra copies of every block, chained onto the next servers after
+    #: the primary. 0 disables replication: a down shard is then a typed
+    #: :class:`~repro.nas.shard.ShardDownError` instead of a failover.
+    replicas: int = 0
+    #: After a failover the router treats the shard as down for this
+    #: long, then optimistically retries the primary (the crash-restart
+    #: story: a restarted server serves again, cold).
+    down_cooldown_us: float = 10_000.0
+
+
+@dataclass
 class Params:
     """Aggregate testbed parameters (one per simulated experiment)."""
 
@@ -254,6 +291,7 @@ class Params:
     proto: ProtocolParams = field(default_factory=ProtocolParams)
     storage: StorageParams = field(default_factory=StorageParams)
     sched: SchedParams = field(default_factory=SchedParams)
+    shard: ShardParams = field(default_factory=ShardParams)
     #: Master seed for every component RNG stream (determinism).
     seed: int = 2003
 
@@ -266,6 +304,7 @@ class Params:
             "proto": replace(self.proto),
             "storage": replace(self.storage),
             "sched": replace(self.sched),
+            "shard": replace(self.shard),
             "seed": self.seed,
         }
         fields.update(overrides)
