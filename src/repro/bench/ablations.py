@@ -655,9 +655,12 @@ STUDIES = {
 
 def _run_study(spec):
     """One study, shaped for :func:`repro.bench.runner.run_points`."""
-    name, params, quick = spec
+    from .runner import base_params
+
+    name, quick = spec
     fn, quick_kwargs, full_kwargs = STUDIES[name]
-    return fn(params=params, **(quick_kwargs if quick else full_kwargs))
+    return fn(params=base_params(),
+              **(quick_kwargs if quick else full_kwargs))
 
 
 def collect(params: Optional[Params] = None, quick: bool = False,
@@ -676,6 +679,7 @@ def collect(params: Optional[Params] = None, quick: bool = False,
         if name not in STUDIES:
             raise ValueError(f"unknown study {name!r}; "
                              f"one of {sorted(STUDIES)}")
-    results = run_points(_run_study, [(n, params, quick) for n in names],
-                         jobs=jobs)
+    base = params if params is not None else default_params()
+    results = run_points(_run_study, [(n, quick) for n in names],
+                         jobs=jobs, base=base)
     return dict(zip(names, results))

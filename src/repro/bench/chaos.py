@@ -36,6 +36,7 @@ from ..sim import LatencyStats, SimulationError, Tracer
 from .plot import ascii_chart
 from .runner import add_campaign_args, campaign_json, run_grid, \
     seeded_params
+from .runner import base_params as runner_base_params
 
 #: One injectable failure domain per campaign axis.
 FAULT_CLASSES = ("link", "nic", "disk", "server")
@@ -154,8 +155,9 @@ def run_point(system: str, fault_class: str, rate: float,
 
 def _campaign_point(spec) -> Dict[str, Any]:
     """One grid point, shaped for :func:`repro.bench.runner.run_points`."""
-    system, fault_class, rate, params, blocks, passes = spec
-    point, _ = run_point(system, fault_class, rate, params=params,
+    system, fault_class, rate, blocks, passes = spec
+    point, _ = run_point(system, fault_class, rate,
+                         params=runner_base_params(),
                          blocks=blocks, passes=passes)
     return point
 
@@ -177,12 +179,14 @@ def chaos_campaign(params: Optional[Params] = None,
     for system in systems:
         if system not in SYSTEMS:
             raise ValueError(f"unknown system {system!r}; one of {SYSTEMS}")
-    specs = [(system, fault_class, rate, params, blocks, passes)
+    base = params if params is not None else default_params()
+    specs = [(system, fault_class, rate, blocks, passes)
              for system in systems
              for fault_class in fault_classes
              for rate in rates]
     return run_grid(_campaign_point, specs,
-                    lambda s: (s[0], s[1], f"{s[2]:.4f}"), jobs=jobs)
+                    lambda s: (s[0], s[1], f"{s[2]:.4f}"), jobs=jobs,
+                    base=base, cost=lambda s: s[2])  # fault rate ~ retries
 
 
 def campaign_failures(results: Dict[str, Any]) -> int:

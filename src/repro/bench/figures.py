@@ -18,7 +18,7 @@ from ..workloads.bdb import BerkeleyDBJoinWorkload
 from ..workloads.postmark import PostMarkWorkload
 from ..workloads.sequential import SequentialReadWorkload
 from ..workloads.smallio import MultiClientReadWorkload
-from .runner import run_points
+from .runner import base_params, run_points
 
 #: Fig. 3/4 application block sizes (KB), as in the paper.
 FIG3_BLOCK_SIZES_KB = (4, 8, 16, 32, 64, 128, 256, 512)
@@ -45,7 +45,8 @@ PAPER_FIG7_GAIN = 0.32   # ODAFS ~32% over polling DAFS at 4 KB
 
 def _fig3_point(spec) -> Dict[str, float]:
     """One (system, block size) cell of the Fig. 3/4 sweep."""
-    params, system, block_kb, blocks_per_point, window = spec
+    system, block_kb, blocks_per_point, window = spec
+    params = base_params()
     block = block_kb * KB
     cluster = Cluster(params.copy(), system=system,
                       block_size=block,
@@ -81,12 +82,13 @@ def fig3_fig4(params: Optional[Params] = None,
     params = params or default_params()
     systems = list(systems)
     block_sizes_kb = list(block_sizes_kb)
-    specs = [(params, system, block_kb, blocks_per_point, window)
+    specs = [(system, block_kb, blocks_per_point, window)
              for system in systems for block_kb in block_sizes_kb]
-    cells = run_points(_fig3_point, specs, jobs=jobs)
+    cells = run_points(_fig3_point, specs, jobs=jobs, base=params,
+                       cost=lambda s: s[1])  # bytes moved ~ block size
     results: Dict[str, Dict[int, Dict[str, float]]] = \
         {system: {} for system in systems}
-    for (_, system, block_kb, _, _), cell in zip(specs, cells):
+    for (system, block_kb, _, _), cell in zip(specs, cells):
         results[system][block_kb] = cell
     return results
 
@@ -103,7 +105,8 @@ def _streaming_client_kwargs(system: str) -> Dict:
 
 def _fig5_point(spec) -> float:
     """One (system, copied KB) cell of the Fig. 5 sweep."""
-    params, system, copied_kb, n_records, window = spec
+    system, copied_kb, n_records, window = spec
+    params = base_params()
     io = BerkeleyDBJoinWorkload.IO_BYTES
     copy_bytes = min(copied_kb * KB, BerkeleyDBJoinWorkload.RECORD_BYTES)
     if copied_kb == 0:
@@ -132,11 +135,12 @@ def fig5_berkeley_db(params: Optional[Params] = None,
     params = params or default_params()
     systems = list(systems)
     copy_points_kb = list(copy_points_kb)
-    specs = [(params, system, copied_kb, n_records, window)
+    specs = [(system, copied_kb, n_records, window)
              for system in systems for copied_kb in copy_points_kb]
-    cells = run_points(_fig5_point, specs, jobs=jobs)
+    cells = run_points(_fig5_point, specs, jobs=jobs, base=params,
+                       cost=lambda s: s[1])  # per-record copy bytes
     results: Dict[str, Dict[int, float]] = {system: {} for system in systems}
-    for (_, system, copied_kb, _, _), cell in zip(specs, cells):
+    for (system, copied_kb, _, _), cell in zip(specs, cells):
         results[system][copied_kb] = cell
     return results
 
@@ -147,8 +151,8 @@ def fig5_berkeley_db(params: Optional[Params] = None,
 
 def _table3_point(spec) -> float:
     """One (system, rpc mode) microbenchmark of the Table 3 grid."""
-    params, system, rpc_mode, n_blocks, measure_blocks = spec
-    return _response_time(params, system, rpc_mode, n_blocks,
+    system, rpc_mode, n_blocks, measure_blocks = spec
+    return _response_time(base_params(), system, rpc_mode, n_blocks,
                           measure_blocks)
 
 
@@ -165,12 +169,12 @@ def table3_response_time(params: Optional[Params] = None,
     directory. Reported: mean second-pass response time.
     """
     params = params or default_params()
-    specs = [(params, "dafs", "inline-mem", n_blocks, measure_blocks),
-             (params, "dafs", "inline", n_blocks, measure_blocks),
-             (params, "dafs", "direct", n_blocks, measure_blocks),
-             (params, "odafs", "direct", n_blocks, measure_blocks)]
+    specs = [("dafs", "inline-mem", n_blocks, measure_blocks),
+             ("dafs", "inline", n_blocks, measure_blocks),
+             ("dafs", "direct", n_blocks, measure_blocks),
+             ("odafs", "direct", n_blocks, measure_blocks)]
     inline_mem, inline, direct, ordma = \
-        run_points(_table3_point, specs, jobs=jobs)
+        run_points(_table3_point, specs, jobs=jobs, base=params)
     return {
         "rpc_inline": {"in_mem": inline_mem, "in_cache": inline},
         "rpc_direct": {"in_mem": direct, "in_cache": direct},
@@ -208,7 +212,8 @@ def _response_time(params: Params, system: str, rpc_mode: str,
 
 def _fig6_point(spec) -> Dict[str, float]:
     """One (system, hit ratio) cell of the Fig. 6 sweep."""
-    params, system, ratio, n_files, transactions = spec
+    system, ratio, n_files, transactions = spec
+    params = base_params()
     cache_blocks = max(1, int(n_files * ratio))
     cluster = Cluster(params.copy(), system=system,
                       block_size=4 * KB,
@@ -239,12 +244,12 @@ def fig6_postmark(params: Optional[Params] = None,
     params = params or default_params()
     systems = ("dafs", "odafs")
     hit_ratios = list(hit_ratios)
-    specs = [(params, system, ratio, n_files, transactions)
+    specs = [(system, ratio, n_files, transactions)
              for system in systems for ratio in hit_ratios]
-    cells = run_points(_fig6_point, specs, jobs=jobs)
+    cells = run_points(_fig6_point, specs, jobs=jobs, base=params)
     results: Dict[str, Dict[int, Dict[str, float]]] = \
         {system: {} for system in systems}
-    for (_, system, ratio, _, _), cell in zip(specs, cells):
+    for (system, ratio, _, _), cell in zip(specs, cells):
         results[system][int(ratio * 100)] = cell
     return results
 
@@ -255,7 +260,8 @@ def fig6_postmark(params: Optional[Params] = None,
 
 def _fig7_point(spec) -> Dict[str, float]:
     """One (system, cache block size) cell of the Fig. 7 sweep."""
-    params, system, block_kb, blocks_per_file, mode_value, app_blocks = spec
+    system, block_kb, blocks_per_file, mode_value, app_blocks = spec
+    params = base_params()
     block = block_kb * KB
     file_size = blocks_per_file * block
     cluster = Cluster(params.copy(), system=system,
@@ -290,12 +296,13 @@ def fig7_server_throughput(params: Optional[Params] = None,
     params = params or default_params()
     systems = list(systems)
     block_sizes_kb = list(block_sizes_kb)
-    specs = [(params, system, block_kb, blocks_per_file,
+    specs = [(system, block_kb, blocks_per_file,
               server_mode.value, app_blocks)
              for system in systems for block_kb in block_sizes_kb]
-    cells = run_points(_fig7_point, specs, jobs=jobs)
+    cells = run_points(_fig7_point, specs, jobs=jobs, base=params,
+                       cost=lambda s: s[1])  # cache block size
     results: Dict[str, Dict[int, Dict[str, float]]] = \
         {system: {} for system in systems}
-    for (_, system, block_kb, _, _, _), cell in zip(specs, cells):
+    for (system, block_kb, _, _, _), cell in zip(specs, cells):
         results[system][block_kb] = cell
     return results

@@ -44,6 +44,7 @@ from ..workloads.smallio import MultiClientReadWorkload
 from .plot import ascii_chart
 from .runner import add_campaign_args, campaign_json, run_grid, \
     seeded_params
+from .runner import base_params as runner_base_params
 
 #: Workload mixes the campaign can sweep.
 MIXES = ("smallio", "postmark")
@@ -190,8 +191,9 @@ def run_point_postmark(system: str, n_clients: int,
 
 def _scale_point(spec) -> Dict[str, Any]:
     """One grid point, shaped for :func:`repro.bench.runner.run_points`."""
-    (mix, system, n_clients, params, blocks, n_files, transactions,
+    (mix, system, n_clients, blocks, n_files, transactions,
      policy, service_threads, max_queue) = spec
+    params = runner_base_params()
     if mix == "smallio":
         return run_point_smallio(system, n_clients, params=params,
                                  blocks=blocks, policy=policy,
@@ -256,13 +258,15 @@ def scale_campaign(params: Optional[Params] = None,
     for mix in mixes:
         if mix not in MIXES:
             raise ValueError(f"unknown mix {mix!r}; one of {MIXES}")
-    specs = [(mix, system, n, params, blocks, n_files, transactions,
+    base = params if params is not None else default_params()
+    specs = [(mix, system, n, blocks, n_files, transactions,
               policy, service_threads, max_queue)
              for mix in mixes
              for system in systems
              for n in client_counts]
     results = run_grid(_scale_point, specs,
-                       lambda s: (s[0], s[1], str(s[2])), jobs=jobs)
+                       lambda s: (s[0], s[1], str(s[2])), jobs=jobs,
+                       base=base, cost=lambda s: s[2])  # client count
     for mix in results:
         results[mix]["summary"] = saturation_summary(
             {s: pts for s, pts in results[mix].items() if s != "summary"})

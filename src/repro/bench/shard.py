@@ -51,6 +51,7 @@ from ..workloads.smallio import MultiClientReadWorkload
 from .plot import ascii_chart
 from .runner import add_campaign_args, campaign_json, run_grid, \
     seeded_params
+from .runner import base_params as runner_base_params
 
 #: Workload mixes the campaign can sweep.
 MIXES = ("smallio", "postmark")
@@ -272,8 +273,9 @@ def run_failover_point(system: str = "odafs", n_servers: int = 4,
 
 def _shard_point(spec) -> Dict[str, Any]:
     """One grid point, shaped for :func:`repro.bench.runner.run_points`."""
-    (mix, system, n_servers, params, placement, n_clients, blocks,
+    (mix, system, n_servers, placement, n_clients, blocks,
      n_files, transactions) = spec
+    params = runner_base_params()
     if mix == "smallio":
         return run_point_smallio(system, n_servers, params=params,
                                  placement=placement,
@@ -325,13 +327,15 @@ def shard_campaign(params: Optional[Params] = None,
     for mix in mixes:
         if mix not in MIXES:
             raise ValueError(f"unknown mix {mix!r}; one of {MIXES}")
-    specs = [(mix, system, n, params, placement, n_clients, blocks,
+    base = params if params is not None else default_params()
+    specs = [(mix, system, n, placement, n_clients, blocks,
               n_files, transactions)
              for mix in mixes
              for system in systems
              for n in server_counts]
     results = run_grid(_shard_point, specs,
-                       lambda s: (s[0], s[1], str(s[2])), jobs=jobs)
+                       lambda s: (s[0], s[1], str(s[2])), jobs=jobs,
+                       base=base, cost=lambda s: s[2])  # server count
     for mix in results:
         results[mix]["summary"] = scaling_summary(
             {s: pts for s, pts in results[mix].items() if s != "summary"})

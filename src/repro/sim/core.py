@@ -12,27 +12,49 @@ The kernel is deterministic: simultaneous events fire in schedule order.
 Hot-path design notes (every NIC doorbell, link frame, and RPC crosses
 this loop, so per-hop constant factors dominate campaign wall-clock):
 
+* **Fast lane**: events scheduled *at the current time* — trampolines,
+  ``succeed()``/``fail()`` at ``now``, zero-delay timeouts — bypass the
+  ``(time, seq)`` heap into a FIFO run-queue. This is safe because seq is
+  globally monotonic: any heap entry whose time equals ``now`` was pushed
+  *before* the clock reached ``now`` (at-now scheduling never touches the
+  heap), so it carries a smaller seq than every run-queue entry, and the
+  dispatch loop drains such heap entries first. Within the run-queue,
+  FIFO order *is* seq order. Dispatch order is therefore exactly the old
+  all-heap ``(time, seq)`` order, with no heap sift or entry tuple for
+  the at-now majority of events.
 * Process bootstrap, already-processed-target relays, and interrupt
   wakeups all use :class:`_Trampoline` events drawn from a per-simulator
   free list and recycled right after dispatch — the per-hop allocation
   churn of the old one-``Event``-per-resume scheme is gone. Trampolines
   are invisible outside the kernel, so recycling cannot be observed.
+* :class:`Timeout` objects — the kernel's most-allocated type, one per
+  modeled latency — are drawn from a second free list. Unlike
+  trampolines they *are* handed to model code, so a dispatched timeout
+  is only recycled when ``sys.getrefcount`` proves the dispatch loop
+  holds the last reference; a timeout the model still points at (held in
+  a variable, parked in a condition, or marked stale by an interrupt) is
+  simply left to the garbage collector. Recycling is therefore
+  unobservable by construction.
 * :meth:`Simulator.schedule_at` is the slim scheduling path: one seq
-  bump and one heap push, no guard re-checks. ``succeed``/``fail``/
+  bump and one push, no guard re-checks. ``succeed``/``fail``/
   ``Timeout`` inline their state flips around it.
 * ``run()`` inlines the dispatch loop instead of calling ``step()`` per
   event (``step()`` remains for single-step use and is semantically
   identical).
 
-None of this changes event ordering: the (time, seq) heap discipline and
-the points at which seq is drawn are exactly the old ones, so seeded runs
-are bit-identical to the pre-optimization kernel.
+None of this changes event ordering or seq accounting: the (time, seq)
+dispatch discipline and the points at which seq is drawn are exactly the
+old ones (run-queue entries draw seqs too), so seeded runs are
+bit-identical to the pre-optimization kernel down to ``sim._seq`` — the
+seeded digest tests in ``tests/sim/test_core_runqueue.py`` pin this.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections import deque
+from sys import getrefcount as _getrefcount
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -99,7 +121,7 @@ class Event:
         self._scheduled = True
         sim = self.sim
         sim._seq += 1
-        _heappush(sim._heap, (sim.now, sim._seq, self))
+        sim._runq.append(self)  # fires at now: fast lane, no heap
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -114,7 +136,7 @@ class Event:
         self._scheduled = True
         sim = self.sim
         sim._seq += 1
-        _heappush(sim._heap, (sim.now, sim._seq, self))
+        sim._runq.append(self)  # fires at now: fast lane, no heap
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -142,7 +164,11 @@ class _Trampoline(Event):
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` microseconds after creation."""
+    """An event that fires ``delay`` microseconds after creation.
+
+    Prefer :meth:`Simulator.timeout`, which recycles dispatched timeout
+    objects from a free list; direct construction always allocates.
+    """
 
     __slots__ = ("delay",)
 
@@ -159,7 +185,11 @@ class Timeout(Event):
         self._scheduled = True
         self._deferred = True  # fires at now + delay, not now
         sim._seq += 1
-        _heappush(sim._heap, (sim.now + delay, sim._seq, self))
+        when = sim.now + delay
+        if when == sim.now:
+            sim._runq.append(self)  # zero-delay: fast lane
+        else:
+            _heappush(sim._heap, (when, sim._seq, self))
 
     def succeed(self, value: Any = None) -> "Event":
         raise SimulationError("Timeout triggers itself; do not call succeed()")
@@ -305,7 +335,11 @@ class AllOf(Condition):
             return
         self._pending -= 1
         if not self._pending:
-            self.succeed(self._results())
+            # Every membership succeeded, so the filtered scan of
+            # Condition._results (triggered/_ok property checks per
+            # child) collapses to one comprehension in `events` order —
+            # the exact dict the filtered scan would have built.
+            self.succeed({ev: ev._value for ev in self.events})
 
 
 class AnyOf(Condition):
@@ -329,10 +363,15 @@ class Simulator:
     def __init__(self):
         self.now: float = 0.0
         self._heap: List = []
+        #: FIFO fast lane for events scheduled at the current time; always
+        #: holds strictly larger seqs than any at-now heap entry.
+        self._runq: Deque[Event] = deque()
         self._seq = 0
         self._running = False
         #: Free list of recycled kernel trampolines (see _Trampoline).
         self._trampolines: List[_Trampoline] = []
+        #: Free list of recycled Timeout objects (see Simulator.timeout).
+        self._timeouts: List[Timeout] = []
         #: Optional structured-event tracer (see repro.sim.trace.Tracer).
         self.tracer = None
 
@@ -342,19 +381,28 @@ class Simulator:
         """Slim path: push ``event`` to fire at absolute time ``when``.
 
         No state checks — the caller guarantees the event is untriggered
-        and unscheduled. This is the single place the (time, seq, event)
-        heap entry is built for kernel-internal scheduling.
+        and unscheduled, and that ``when >= now``. ``when == now`` takes
+        the run-queue fast lane; this is the single place the
+        (time, seq, event) heap entry is built for kernel-internal
+        scheduling.
         """
         event._scheduled = True
         self._seq += 1
-        _heappush(self._heap, (when, self._seq, event))
+        if when <= self.now:
+            self._runq.append(event)
+        else:
+            _heappush(self._heap, (when, self._seq, event))
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         if event._scheduled:
             raise SimulationError("event already scheduled")
         event._scheduled = True
         self._seq += 1
-        _heappush(self._heap, (self.now + delay, self._seq, event))
+        when = self.now + delay
+        if when <= self.now:
+            self._runq.append(event)
+        else:
+            _heappush(self._heap, (when, self._seq, event))
 
     def _trampoline(self, callback: Callable[[Event], None], value: Any,
                     ok: bool) -> None:
@@ -369,7 +417,7 @@ class Simulator:
         tramp._ok = ok
         tramp._scheduled = True
         self._seq += 1
-        _heappush(self._heap, (self.now, self._seq, tramp))
+        self._runq.append(tramp)
 
     def _recycle(self, tramp: "_Trampoline",
                  callbacks: List[Callable[[Event], None]]) -> None:
@@ -382,8 +430,29 @@ class Simulator:
         self._trampolines.append(tramp)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing ``delay`` microseconds from now."""
-        return Timeout(self, delay, value)
+        """An event firing ``delay`` microseconds from now.
+
+        Draws from the timeout free list when possible; see the module
+        docstring for why recycling is unobservable.
+        """
+        pool = self._timeouts
+        if not pool:
+            return Timeout(self, delay, value)
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        t = pool.pop()
+        t.delay = delay
+        t._value = value
+        t._ok = True
+        t._scheduled = True
+        t._deferred = True
+        self._seq += 1
+        when = self.now + delay
+        if when == self.now:
+            self._runq.append(t)
+        else:
+            _heappush(self._heap, (when, self._seq, t))
+        return t
 
     def event(self) -> Event:
         """A fresh untriggered event."""
@@ -414,10 +483,26 @@ class Simulator:
 
     # -- execution -------------------------------------------------------
 
+    def _next_event(self) -> Event:
+        """Pop the next event in (time, seq) order, advancing the clock.
+
+        Heap entries at the current time predate every run-queue entry
+        (smaller seqs — see the module docstring), so they go first; the
+        run-queue itself is already in seq order.
+        """
+        heap = self._heap
+        runq = self._runq
+        if runq:
+            if heap and heap[0][0] <= self.now:
+                return _heappop(heap)[2]
+            return runq.popleft()
+        when, _seq, event = _heappop(heap)
+        self.now = when
+        return event
+
     def step(self) -> None:
         """Dispatch the single next event."""
-        when, _seq, event = _heappop(self._heap)
-        self.now = when
+        event = self._next_event()
         event._deferred = False
         callbacks, event.callbacks = event.callbacks, None
         for fn in callbacks:
@@ -425,25 +510,46 @@ class Simulator:
         if event._ok is False and not callbacks:
             # A failed event nobody waited for is a lost error; surface it.
             raise event._value
-        if type(event) is _Trampoline:
+        cls = type(event)
+        if cls is _Trampoline:
             self._recycle(event, callbacks)
+        elif cls is Timeout and _getrefcount(event) == 2:
+            # Only the dispatch loop still references it: recycle.
+            callbacks.clear()
+            event.callbacks = callbacks
+            event._value = PENDING
+            event._ok = None
+            event._scheduled = False
+            self._timeouts.append(event)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or simulated time reaches ``until``."""
+        """Run until the queues drain or simulated time reaches ``until``."""
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         heap = self._heap
+        runq = self._runq
+        timeouts = self._timeouts
         try:
-            while heap:
-                entry = heap[0]
-                if until is not None and entry[0] > until:
-                    self.now = until
-                    return
-                # Inline of step(): one heap pop, dispatch, recycle.
-                try:
+            while True:
+                # Inline of _next_event() + step(): pop, dispatch, recycle.
+                if runq:
+                    if heap and heap[0][0] <= self.now:
+                        # Equal-time heap entries predate (and out-rank)
+                        # every run-queue entry.
+                        event = _heappop(heap)[2]
+                    else:
+                        event = runq.popleft()
+                elif heap:
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        self.now = until
+                        return
                     event = _heappop(heap)[2]
-                    self.now = entry[0]
+                    self.now = when
+                else:
+                    break
+                try:
                     event._deferred = False
                     callbacks = event.callbacks
                     event.callbacks = None
@@ -453,8 +559,19 @@ class Simulator:
                         # A failed event nobody waited for is a lost
                         # error; surface it.
                         raise event._value
-                    if type(event) is _Trampoline:
+                    cls = type(event)
+                    if cls is _Trampoline:
                         self._recycle(event, callbacks)
+                    elif cls is Timeout and _getrefcount(event) == 2:
+                        # The dispatch loop holds the last reference —
+                        # the model let go of this timeout, so recycling
+                        # it cannot be observed.
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        event._value = PENDING
+                        event._ok = None
+                        event._scheduled = False
+                        timeouts.append(event)
                 except StopSimulation:
                     return
         finally:

@@ -52,14 +52,22 @@ def rate_probe(sim: Simulator, cumulative: GaugeFn,
     sampling interval. A busy-time counter therefore yields utilization
     in [0, 1]; a byte counter yields B/us (== MB/s). Zero-elapsed calls
     (including a query at the probe's creation instant) return 0.0.
+
+    An unchanged source short-circuits: the rate is exactly 0.0 over any
+    window, so only the window anchor moves and the subtraction/division
+    arithmetic is skipped — most gauge sources are idle on most sampler
+    ticks, which is what makes continuous telemetry affordable.
     """
     state = [sim.now, float(cumulative())]
 
     def probe() -> float:
-        now = sim.now
         value = float(cumulative())
         prev_t, prev_v = state
-        state[0], state[1] = now, value
+        now = sim.now
+        state[0] = now
+        if value == prev_v:
+            return 0.0  # source unchanged since the last sample
+        state[1] = value
         if now <= prev_t:
             return 0.0
         return (value - prev_v) * scale / (now - prev_t)
@@ -72,11 +80,19 @@ def ratio_probe(numerator: GaugeFn, denominator: GaugeFn) -> GaugeFn:
 
     Reports ``delta(num) / delta(den)`` since the previous call; windows
     with no denominator activity report 0.0 rather than dividing by zero.
+    An unchanged denominator short-circuits the same way an unchanged
+    :func:`rate_probe` source does.
     """
     state = [float(numerator()), float(denominator())]
 
     def probe() -> float:
-        num, den = float(numerator()), float(denominator())
+        den = float(denominator())
+        if den == state[1]:
+            # No denominator activity in the window: ratio is 0.0 and the
+            # numerator anchor still has to advance for the next window.
+            state[0] = float(numerator())
+            return 0.0
+        num = float(numerator())
         d_num, d_den = num - state[0], den - state[1]
         state[0], state[1] = num, den
         return d_num / d_den if d_den > 0 else 0.0
@@ -99,16 +115,21 @@ def window_mean(points: Sequence[Tuple[float, float]], t0: float,
 class TimeSeries:
     """One gauge's ring-buffered (timestamp, value) history."""
 
-    __slots__ = ("name", "points", "dropped")
+    __slots__ = ("name", "points", "appended")
 
     def __init__(self, name: str, capacity: int):
         self.name = name
         self.points: Deque[Tuple[float, float]] = deque(maxlen=capacity)
-        self.dropped = 0
+        #: Total points ever appended; the ring evicts the overflow, so
+        #: ``dropped`` is derived instead of checked on every append.
+        self.appended = 0
+
+    @property
+    def dropped(self) -> int:
+        return max(0, self.appended - self.points.maxlen)
 
     def append(self, ts: float, value: float) -> None:
-        if len(self.points) == self.points.maxlen:
-            self.dropped += 1
+        self.appended += 1
         self.points.append((ts, value))
 
     def __len__(self) -> int:
@@ -154,6 +175,10 @@ class TimeSeriesSampler:
         self.ticks = 0
         self._running = False
         self._stop_on: Optional[Event] = None
+        #: Compiled (series, ring-append, probe) rows — the per-tick loop
+        #: skips every dict and method lookup; rebuilt on registration.
+        self._plan: Optional[List[Tuple[TimeSeries, Callable, GaugeFn]]] \
+            = None
 
     # -- registration ------------------------------------------------------
 
@@ -165,6 +190,7 @@ class TimeSeriesSampler:
             raise ValueError(f"probe {name!r} already registered")
         self._probes[name] = fn
         self.series[name] = TimeSeries(name, self.capacity)
+        self._plan = None  # recompile on next sample
 
     def probe_many(self, prefix: str, gauges: Dict[str, GaugeFn]) -> None:
         """Register a component's gauge dict under ``prefix.<key>``."""
@@ -200,11 +226,22 @@ class TimeSeriesSampler:
             self.sample_once()
 
     def sample_once(self) -> None:
-        """Take one snapshot of every probe at the current sim time."""
+        """Take one snapshot of every probe at the current sim time.
+
+        Runs off a compiled plan: one bound ``deque.append`` and one probe
+        call per series, no per-sample dict lookups or Python-level
+        ``TimeSeries.append`` frames — this loop runs
+        probes x ticks times, the telemetry hot path.
+        """
+        plan = self._plan
+        if plan is None:
+            plan = self._plan = [
+                (series, series.points.append, self._probes[name])
+                for name, series in self.series.items()]
         now = self.sim.now
-        series = self.series
-        for name, fn in self._probes.items():
-            series[name].append(now, float(fn()))
+        for series, append, fn in plan:
+            series.appended += 1
+            append((now, float(fn())))
         self.ticks += 1
 
     # -- read-out ----------------------------------------------------------

@@ -119,6 +119,41 @@ class TestCheckRegression:
         problems = perf.check_regression(doc, base)
         assert problems and "determinism" in problems[0]
 
+    def test_strict_tolerance_caps_loose_flag(self, suite_doc):
+        # kernel_events may never drop more than 20%, even when the
+        # blanket --tolerance is looser.
+        doc, base = self._docs(suite_doc)
+        doc["benches"]["kernel_events"]["normalized"] *= 0.7
+        problems = perf.check_regression(doc, base, tolerance=0.50)
+        assert problems and "kernel_events" in problems[0]
+        assert "20%" in problems[0]
+
+    def test_strict_tolerance_only_covers_named_benches(self, suite_doc):
+        doc, base = self._docs(suite_doc)
+        doc["benches"]["link_frames"]["normalized"] *= 0.7
+        assert perf.check_regression(doc, base, tolerance=0.50) == []
+
+
+class TestCheckSpeedup:
+    def _doc(self, speedup, cpu_count):
+        return {"benches": {"figure_sweep": {"speedup": speedup,
+                                             "jobs": 4}},
+                "host": {"cpu_count": cpu_count}}
+
+    def test_pass_above_minimum(self):
+        assert perf.check_speedup(self._doc(2.1, 4), 1.3) is None
+
+    def test_fail_below_minimum(self):
+        problem = perf.check_speedup(self._doc(0.9, 4), 1.3)
+        assert problem and "figure_sweep" in problem
+
+    def test_single_core_host_skips_with_notice(self, capsys):
+        assert perf.check_speedup(self._doc(0.9, 1), 1.3) is None
+        assert "skipped" in capsys.readouterr().err
+
+    def test_no_sweep_is_not_applicable(self):
+        assert perf.check_speedup({"benches": {}, "host": {}}, 1.3) is None
+
 
 class TestCli:
     def test_digest_output_and_exit_code(self, capsys):
@@ -128,14 +163,23 @@ class TestCli:
         assert '"kernel_events"' in out and '"wall_s"' not in out
 
     def test_check_against_own_output(self, tmp_path, capsys):
+        # --out writes before --check reads, so one invocation checking
+        # its own document exercises the gate plumbing deterministically
+        # (a second timed run would race wall-clock noise against the
+        # strict kernel_events/scale_smallio caps on a loaded host).
         out_path = tmp_path / "BENCH_perf.json"
         assert perf.main(["--quick", "--repeat", "1", "--no-sweep",
-                          "--out", str(out_path)]) == 0
-        assert perf.main(["--quick", "--repeat", "1", "--no-sweep",
-                          "--check", str(out_path),
-                          "--tolerance", "0.9"]) == 0
+                          "--out", str(out_path),
+                          "--check", str(out_path)]) == 0
+        assert "ok" in capsys.readouterr().out
 
     def test_render_mentions_reference_gain(self, capsys):
         assert perf.main(["--quick", "--repeat", "1", "--no-sweep"]) == 0
         out = capsys.readouterr().out
         assert "vs seed" in out
+
+    def test_profile_prints_cumulative_tables(self, capsys):
+        assert perf.main(["--quick", "--profile", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel_events (top 3 by cumulative)" in out
+        assert "scale_smallio" in out and "cumtime" in out

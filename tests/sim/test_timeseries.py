@@ -67,6 +67,34 @@ class TestProbes:
         assert window_mean(points, 10.0, 10.0) == 2.0
         assert window_mean(points, 30.0, 40.0) is None
 
+    def test_rate_probe_idle_window_advances_anchor(self):
+        # The unchanged-source short-circuit must still move the window
+        # anchor: growth after an idle window is rated over the *last*
+        # window only, not smeared across the idle one.
+        sim = Simulator()
+        counter = {"v": 0.0}
+        probe = rate_probe(sim, lambda: counter["v"])
+
+        def proc():
+            yield sim.timeout(100.0)
+            assert probe() == 0.0  # idle window (short-circuit path)
+            counter["v"] = 50.0
+            yield sim.timeout(100.0)
+            assert probe() == pytest.approx(0.5)  # 50 over 100us, not 200
+
+        sim.run_process(proc())
+
+    def test_ratio_probe_idle_window_advances_numerator(self):
+        # Short-circuited windows (denominator unchanged) must advance
+        # the numerator anchor, or later windows over-count it.
+        hits = {"v": 0.0}
+        total = {"v": 0.0}
+        probe = ratio_probe(lambda: hits["v"], lambda: total["v"])
+        hits["v"] = 5.0  # numerator moves, denominator does not
+        assert probe() == 0.0
+        hits["v"], total["v"] = 7.0, 4.0
+        assert probe() == pytest.approx(0.5)  # (7-5)/(4-0), not (7-0)/4
+
 
 class TestSampler:
     def test_off_by_default_schedules_nothing(self):
@@ -135,6 +163,19 @@ class TestSampler:
         assert series.dropped == 6
         assert sampler.dropped == 6
         assert [ts for ts, _v in series] == [7.0, 8.0, 9.0, 10.0]
+
+    def test_probe_registered_after_sampling_joins_the_plan(self):
+        # sample_once runs off a compiled plan; registering a new probe
+        # must invalidate it so the next tick includes the new series.
+        sim = Simulator()
+        sampler = TimeSeriesSampler(sim, interval_us=1.0)
+        sampler.probe("a", lambda: 1.0)
+        sampler.sample_once()
+        sampler.probe("b", lambda: 2.0)
+        sampler.sample_once()
+        assert len(sampler.series["a"]) == 2
+        assert len(sampler.series["b"]) == 1
+        assert sampler.series["b"].last == 2.0
 
     def test_as_dict_readout(self):
         sim = Simulator()
