@@ -51,6 +51,22 @@ DISK_SPIKE_US = 2000.0
 CRASH_DOWNTIME_US = 1500.0
 
 
+def add_fault_campaign_args(parser: argparse.ArgumentParser,
+                            seed_help: str, quick_help: str) -> None:
+    """CLI surface shared by the fault-injection campaigns (``chaos``,
+    ``scrub``): the workload-size knobs plus the ``--seed/--jobs/--json``
+    trio. Both subcommands route through here so each shared option is
+    registered exactly once per parser — duplicating ``--seed`` in a
+    subcommand would crash argparse and double it in ``--help``.
+    """
+    parser.add_argument("--blocks", type=int, default=64,
+                        help="4 KB blocks per pass (default 64)")
+    parser.add_argument("--passes", type=int, default=2,
+                        help="read passes over the file (default 2)")
+    parser.add_argument("--quick", action="store_true", help=quick_help)
+    add_campaign_args(parser, seed_help=seed_help)
+
+
 def _configure(inj: Injector, fault_class: str, rate: float) -> None:
     """Point one fault class at the cluster at per-event rate ``rate``."""
     if fault_class not in FAULT_CLASSES:
@@ -260,14 +276,9 @@ def main(argv=None) -> int:
                         metavar="P",
                         help="per-event fault probabilities "
                              f"(default: {DEFAULT_RATES})")
-    parser.add_argument("--blocks", type=int, default=64,
-                        help="4 KB blocks per pass (default 64)")
-    parser.add_argument("--passes", type=int, default=2,
-                        help="read passes over the file (default 2)")
-    parser.add_argument("--quick", action="store_true",
-                        help="smaller grid (24 blocks, 3 rates)")
-    add_campaign_args(parser,
-                      seed_help="master seed for all fault/jitter streams")
+    add_fault_campaign_args(
+        parser, seed_help="master seed for all fault/jitter streams",
+        quick_help="smaller grid (24 blocks, 3 rates)")
     parser.add_argument("--dump", metavar="PATH",
                         help="also run one traced point (first system/"
                              "class, highest rate) and dump its trace "

@@ -216,6 +216,10 @@ def main(argv=None) -> int:
         # Multi-server scale-out sweeps over the shard layer.
         from .shard import main as shard_main
         return shard_main(list(argv[1:]))
+    if argv and argv[0] == "scrub":
+        # End-to-end integrity: silent corruption vs checksums.
+        from .scrub import main as scrub_main
+        return scrub_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -226,12 +230,13 @@ def main(argv=None) -> int:
                     "simulation engine itself, 'telemetry' renders "
                     "sampled gauge timelines, 'scale' sweeps client "
                     "counts against the server admission scheduler, "
-                    "'shard' sweeps server counts over striped files "
+                    "'shard' sweeps server counts over striped files, "
+                    "'scrub' runs end-to-end integrity campaigns "
                     "(repro-bench perf --help).")
     parser.add_argument("target", choices=list(TARGETS) + ["all"],
                         help="which table/figure to regenerate (or "
                              "'trace'/'chaos'/'perf'/'telemetry'/'scale'"
-                             "/'shard' subcommands)")
+                             "/'shard'/'scrub' subcommands)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller workloads (same shapes, faster)")
     parser.add_argument("--seed", type=int, default=None,

@@ -104,7 +104,8 @@ def _init_worker(base: Optional[Params]) -> None:
     """
     global _worker_base
     _worker_base = base
-    from . import ablations, chaos, figures, scale, shard  # noqa: F401
+    from . import (ablations, chaos, figures, scale,  # noqa: F401
+                   scrub, shard)
 
 
 def base_params() -> Params:

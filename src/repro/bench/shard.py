@@ -45,6 +45,7 @@ from typing import Any, Dict, Generator, List, Optional, Sequence
 
 from ..faults import FaultSchedule, Injector
 from ..nas.shard import SHARD_SYSTEMS, ShardDownError, ShardedCluster
+from ..nas.shard.placement import shard_config_error
 from ..params import KB, Params, default_params
 from ..sim import LatencyStats
 from ..workloads.smallio import MultiClientReadWorkload
@@ -444,6 +445,26 @@ def main(argv=None) -> int:
     n_clients = 4 if args.quick else args.clients
     blocks = 64 if args.quick else args.blocks
     transactions = 24 if args.quick else args.transactions
+
+    # Validate every shard configuration the campaign will wire *now*,
+    # so a bad combination is one clear message and exit 2 — not a
+    # traceback from deep inside ShardedCluster construction.
+    for n in counts:
+        err = shard_config_error(
+            _shard_params(params, n, args.placement).shard, params.seed)
+        if err is not None:
+            print(f"repro-bench shard: invalid config for --servers {n}: "
+                  f"{err}", file=sys.stderr)
+            return 2
+    if not args.no_failover:
+        err = shard_config_error(
+            _shard_params(params, max(counts), args.placement,
+                          replicas=1).shard, params.seed)
+        if err is not None:
+            print(f"repro-bench shard: the failover point needs a replica "
+                  f"({err}); pass --servers >= 2 or --no-failover",
+                  file=sys.stderr)
+            return 2
 
     results = shard_campaign(params=params, systems=systems, mixes=mixes,
                              server_counts=counts,

@@ -224,11 +224,6 @@ def main(argv=None) -> int:
                         metavar="US", help="sampling interval in sim-us")
     parser.add_argument("--quick", action="store_true",
                         help="smaller workload (16 blocks)")
-    parser.add_argument("--seed", type=int, default=None,
-                        help="master seed for every simulation RNG")
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="worker processes for --systems campaigns "
-                             "(results byte-identical for any N)")
     parser.add_argument("--series", metavar="SUBSTR[,SUBSTR...]",
                         help="only show series whose name contains one "
                              "of these substrings")
@@ -237,8 +232,10 @@ def main(argv=None) -> int:
     parser.add_argument("--dump", metavar="PATH",
                         help="also write the sampled series as JSONL "
                              "(single-run mode)")
-    parser.add_argument("--json", action="store_true",
-                        help="emit per-series stats as JSON")
+    # The shared campaign surface (--seed/--jobs/--json), registered
+    # through the one common helper like every other campaign CLI.
+    runner.add_campaign_args(
+        parser, seed_help="master seed for every simulation RNG")
     args = parser.parse_args(argv)
     blocks = 16 if args.quick else args.blocks
 

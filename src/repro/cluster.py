@@ -147,6 +147,8 @@ class Cluster:
         reg.register("server.cache", self.cache.stats)
         reg.register("server.ops", self.server.stats)
         reg.register("server.rpc", self.server.rpc.stats)
+        if self.server.checksums is not None:
+            reg.register("server.integrity", self.server.integrity)
         if self.scheduler is not None:
             reg.register("server.sched", self.scheduler.stats)
         for i, (host, client) in enumerate(zip(self.client_hosts,
@@ -177,6 +179,9 @@ class Cluster:
         sampler.probe_many("server.nic", self.server_host.nic.gauges())
         sampler.probe_many("server.cache", self.cache.gauges())
         sampler.probe_many("server.rpc", self.server.rpc.gauges())
+        if self.server.checksums is not None:
+            sampler.probe_many("server.integrity",
+                               self.server.integrity_gauges())
         if self.scheduler is not None:
             sampler.probe_many("server.sched", self.scheduler.gauges())
         sampler.probe_many("net.server", self.server_host.nic.port.gauges())

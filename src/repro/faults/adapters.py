@@ -20,8 +20,9 @@ Two determinism rules hold throughout:
 from __future__ import annotations
 
 import random
-from typing import Optional, Set, Tuple
+from typing import Any, Optional, Set, Tuple
 
+from ..integrity.checksum import corrupt_payload
 from ..sim import Counter, Simulator, trace_emit
 
 
@@ -48,10 +49,17 @@ class LayerFaults:
 class LinkFaults(LayerFaults):
     """Switch-level faults: frame drop, corruption, delay, partition.
 
-    Corrupted frames fail the receiver's CRC and are dropped there, so
-    drop and corruption differ only in accounting. ``drop_next`` /
-    ``delay_next`` are one-shot traps for targeted tests: they fire on
-    the next frame(s) regardless of the probabilities.
+    ``corrupt_p`` models **detected** corruption: the mangled frame
+    fails the receiver's CRC and is dropped there, so drop and
+    corruption differ only in accounting (``link.corrupt`` vs
+    ``link.drop``) and recovery is the ordinary retransmission
+    machinery. Corruption that *evades* detection and flows to the
+    application as clean data is a different failure class entirely —
+    see :attr:`DiskFaults.bitrot_p`/:attr:`DiskFaults.misdirect_p` and
+    :attr:`NicFaults.ordma_corrupt_p`, which only ``params.integrity``
+    checksums can catch. ``drop_next`` / ``delay_next`` are one-shot
+    traps for targeted tests: they fire on the next frame(s) regardless
+    of the probabilities.
     """
 
     layer = "link"
@@ -125,6 +133,12 @@ class NicFaults(LayerFaults):
         self.stall_next = 0
         self.ordma_reject_p = 0.0
         self.ordma_reject_next = 0
+        #: Silent in-flight corruption of served optimistic gets: the
+        #: target NIC returns mangled data with *no* fault raised (the
+        #: checksums-are-offloaded gap of Section 5 — nothing on the
+        #: direct path validates what the DMA engine ships).
+        self.ordma_corrupt_p = 0.0
+        self.ordma_corrupt_next = 0
 
     def doorbell_delay(self) -> float:
         """Extra stall (us) for the doorbell being rung now, or 0.0."""
@@ -148,14 +162,38 @@ class NicFaults(LayerFaults):
             return True
         return False
 
+    def ordma_corrupt(self) -> bool:
+        """Should this served optimistic get carry corrupted data?
+
+        Unlike :meth:`ordma_reject` nothing faults: the initiator
+        receives a normal completion with a wrong payload. Only a
+        client-side checksum (``params.integrity``) can tell.
+        """
+        if self.ordma_corrupt_next > 0:
+            self.ordma_corrupt_next -= 1
+            self._note("ordma_corrupt", forced=True)
+            return True
+        if self.ordma_corrupt_p > 0.0 \
+                and self.rng.random() < self.ordma_corrupt_p:
+            self._note("ordma_corrupt")
+            return True
+        return False
+
 
 class DiskFaults(LayerFaults):
-    """Disk faults: transient I/O errors and positioning-latency spikes.
+    """Disk faults: transient I/O errors, latency spikes, and *silent*
+    data corruption.
 
     Errors are transient (a reread succeeds with probability
     ``1 - error_p``); the disk layer retries internally up to
     ``max_retries`` times before surfacing ``DiskError`` to the file
     server, each retry paying the full access time again.
+
+    ``bitrot_p`` and ``misdirect_p`` are different in kind: the access
+    *succeeds* and hands back wrong data — decayed media on the read
+    path, a write steered to the wrong sector on the write path. No
+    error surfaces anywhere; only checksum verification
+    (``params.integrity``) can detect either.
     """
 
     layer = "disk"
@@ -168,6 +206,10 @@ class DiskFaults(LayerFaults):
         self.delay_p = 0.0
         self.delay_us = 0.0
         self.max_retries = 8
+        self.bitrot_p = 0.0
+        self.bitrot_next = 0
+        self.misdirect_p = 0.0
+        self.misdirect_next = 0
 
     def io_plan(self) -> Tuple[bool, float]:
         """Plan one access: (fails?, extra latency us)."""
@@ -182,6 +224,31 @@ class DiskFaults(LayerFaults):
             self._note("delay", us=self.delay_us)
             return False, self.delay_us
         return False, 0.0
+
+    def bitrot_payload(self, data: Any) -> Any:
+        """Filter one payload read from the platter: bit rot wraps it as
+        silently corrupted (the read itself succeeded)."""
+        if self.bitrot_next > 0:
+            self.bitrot_next -= 1
+            self._note("bitrot", forced=True)
+            return corrupt_payload(data, "bitrot")
+        if self.bitrot_p > 0.0 and self.rng.random() < self.bitrot_p:
+            self._note("bitrot")
+            return corrupt_payload(data, "bitrot")
+        return data
+
+    def misdirect_payload(self, data: Any) -> Any:
+        """Filter one written payload: a misdirected write lands on the
+        wrong sector, so the block's stored copy is silently wrong while
+        the write completes successfully."""
+        if self.misdirect_next > 0:
+            self.misdirect_next -= 1
+            self._note("misdirect", forced=True)
+            return corrupt_payload(data, "misdirect")
+        if self.misdirect_p > 0.0 and self.rng.random() < self.misdirect_p:
+            self._note("misdirect")
+            return corrupt_payload(data, "misdirect")
+        return data
 
 
 class ServerFaults(LayerFaults):

@@ -153,7 +153,17 @@ class Injector:
         self.link.drop_p = p
 
     def link_corruption(self, p: float) -> None:
-        """Corrupt (CRC-fail at the receiver) frames with probability ``p``."""
+        """Corrupt frames with probability ``p`` — **detected** corruption.
+
+        The mangled frame fails the receiving NIC's CRC and is dropped
+        there, so this behaves exactly like :meth:`link_loss` except in
+        the fault accounting (``link.corrupt`` vs ``link.drop``);
+        recovery is the normal retransmission machinery. For corruption
+        that *evades* detection and reaches the application as clean
+        data — which only ``params.integrity`` checksums can catch — use
+        the silent-corruption knobs: :meth:`disk_bitrot`,
+        :meth:`disk_misdirected_writes`, :meth:`ordma_silent_corruption`.
+        """
         self.link.corrupt_p = p
 
     def link_delay(self, p: float, spike_us: float) -> None:
@@ -179,6 +189,39 @@ class Injector:
         """Make the server NICs fault optimistic accesses at rate ``p``."""
         for host in self._server_hosts():
             self.nic(host).ordma_reject_p = p
+
+    def ordma_silent_corruption(self, p: float) -> None:
+        """Silently corrupt served optimistic gets with probability ``p``.
+
+        Unlike :meth:`ordma_rejects` nothing faults: the server NIC
+        completes the get normally but ships a wrong payload, modelling
+        exactly the validation gap the direct-access path opens (the
+        server CPU never sees the bytes a client DMAs out of its cache).
+        Detectable only by client-side verification of the checksum
+        carried on the ORDMA reference (``params.integrity``).
+        """
+        for host in self._server_hosts():
+            self.nic(host).ordma_corrupt_p = p
+
+    def disk_bitrot(self, p: float) -> None:
+        """Silently corrupt payloads read from disk with probability
+        ``p`` (decayed media: the read succeeds, the data is wrong).
+
+        Hits the server's cache-miss fill path, so the corrupt copy then
+        sits in the file cache serving every consumer — RPC readers,
+        exported ORDMA blocks, replicas warming from it — until a
+        checksum verification (read-path or scrubber) catches it.
+        """
+        for k in range(len(self._disks())):
+            self.disk_faults(k).bitrot_p = p
+
+    def disk_misdirected_writes(self, p: float) -> None:
+        """Silently misdirect writes with probability ``p``: the write
+        completes successfully but lands on the wrong sector, leaving
+        the block's stored copy wrong while the checksum metadata
+        (recorded from the intended data) stays correct."""
+        for k in range(len(self._disks())):
+            self.disk_faults(k).misdirect_p = p
 
     def disk_errors(self, p: float,
                     max_retries: Optional[int] = None) -> None:

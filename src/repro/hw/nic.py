@@ -19,6 +19,7 @@ import enum
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Generator, Optional
 
+from ..integrity.checksum import corrupt_payload
 from ..net.link import Switch
 from ..net.packet import Frame, Message, MsgKind, Reassembler, fragment
 from ..params import Params
@@ -582,8 +583,16 @@ class NIC:
         span = meta.get("_span")
         if span is not None:
             span.mark(self.name, "ordma.server", bytes=nbytes)
+        data = seg.buffer.data
+        if optimistic and self.faults is not None \
+                and self.faults.ordma_corrupt():
+            # Silent corruption on the direct path: the get completes
+            # normally, the payload is wrong, and no host CPU ever sees
+            # it — only a client-side checksum can tell (Section 5's
+            # offloaded checksums, finally asked to earn their keep).
+            data = corrupt_payload(data, "ordma")
         resp = Message(MsgKind.RDMA_GET_RESP, self.name, msg.src, nbytes,
-                       data=seg.buffer.data, meta={"for": msg.msg_id})
+                       data=data, meta={"for": msg.msg_id})
         self.sim.process(self._tx(resp, from_host=True,
                                   fetch_descriptor=False),
                          name=f"{self.name}.get-resp")

@@ -1,0 +1,60 @@
+"""Per-block checksum metadata, recorded at write time on the server.
+
+The store models the checksum *metadata* path — the part of a real
+system (ZFS parental checksums, T10 DIF tags) that is engineered to be
+reliable even when the data path is not. Checksums are recorded when a
+block is written (or warmed into the cache) from the file system's
+authoritative content; the *data* copies flowing through disk reads,
+caches and DMA are what the fault injectors corrupt. Verification
+compares a possibly-corrupt data copy against the recorded metadata.
+
+Consequently the store must never be fed data read back from disk or a
+cache: :meth:`record` and the lazy path of :meth:`expected` always
+recompute from :meth:`repro.fs.files.FileSystem.block_content`, the
+simulation's ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..fs.files import FileSystem
+from .checksum import block_checksum
+
+BlockKey = Tuple[str, int]
+
+
+class ChecksumStore:
+    """Reliable per-block checksum metadata for one server's namespace."""
+
+    def __init__(self, fs: FileSystem):
+        self.fs = fs
+        self._sums: Dict[BlockKey, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._sums)
+
+    def record(self, key: BlockKey) -> int:
+        """(Re)compute and store ``key``'s checksum from the file system
+        truth — called at write and cache-warm time, never from a data
+        copy that may already be corrupt."""
+        csum = block_checksum(self.fs.block_content(*key))
+        self._sums[key] = csum
+        return csum
+
+    def expected(self, key: BlockKey) -> int:
+        """The recorded checksum for ``key``, computing it lazily for
+        blocks that were never explicitly written or warmed."""
+        csum = self._sums.get(key)
+        if csum is None:
+            csum = self.record(key)
+        return csum
+
+    def verify(self, key: BlockKey, data) -> bool:
+        """Whether a data copy of ``key`` matches its recorded checksum."""
+        return block_checksum(data) == self.expected(key)
+
+    def forget(self, name: str) -> None:
+        """Drop every recorded checksum of ``name`` (file removal)."""
+        for key in [k for k in self._sums if k[0] == name]:
+            del self._sums[key]

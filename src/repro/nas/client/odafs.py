@@ -21,6 +21,7 @@ from ...cache.block_cache import CacheBlock
 from ...hw.host import Host
 from ...hw.nic import NotifyMode
 from ...hw.tpt import RemoteAccessFault
+from ...integrity.checksum import block_checksum
 from ...params import KB
 from ...proto.ordma import ORDMAInitiator
 from ..server.server import DAFS_PORT
@@ -125,6 +126,27 @@ class ODAFSClient(DAFSClient):
                 # whose response carries a fresh reference (Section 4.2.1).
                 self._note_ordma_fault(key, span)
             else:
+                if ref.csum is not None:
+                    # The server CPU never saw this transfer, so the
+                    # *client* is the first place the bytes can be vetted:
+                    # verify against the checksum piggybacked on the
+                    # reference. A mismatch is handled exactly like a
+                    # remote-access fault — drop the reference and fall
+                    # back to RPC, where the server re-reads and verifies.
+                    ip = self.host.params.integrity
+                    yield from self.cpu.execute(
+                        ip.checksum_op_us
+                        + self.cache_block_size / ip.checksum_bw,
+                        category="integrity")
+                    if block_checksum(data) != ref.csum:
+                        self.stats.incr("integrity_detected")
+                        if span is not None:
+                            span.mark(self.host.name, "integrity.detect",
+                                      block=f"{name}#{index}")
+                        self._note_ordma_fault(key, span)
+                        yield from self._remote_fill_rpc(name, index, block,
+                                                         span=span)
+                        return
                 self.cache.fill(block, data)
                 yield from self.cpu.execute(self.proto.ordma_dir_op_us,
                                             category="directory")

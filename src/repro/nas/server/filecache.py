@@ -53,6 +53,10 @@ class ServerFileCache:
         self.export = export
         self.preload_tlb = preload_tlb
         self.stats = Counter()
+        #: Optional :class:`repro.integrity.ChecksumStore`, installed by
+        #: the owning server when ``params.integrity.enabled``; when set,
+        #: exported references carry the block's expected checksum.
+        self.checksums = None
         self._policy = LRUPolicy(capacity_blocks)
         self._blocks: Dict[BlockKey, ServerBlock] = {}
         #: Private 64-bit export map, addressed only by the NIC
@@ -63,6 +67,15 @@ class ServerFileCache:
 
     def __len__(self) -> int:
         return len(self._blocks)
+
+    def peek(self, key: BlockKey) -> Optional[ServerBlock]:
+        """Inspect a resident block without touching LRU order or the
+        hit/miss counters — the scrubber audits the cache through this."""
+        return self._blocks.get(key)
+
+    def keys(self):
+        """Resident block keys in insertion order (scrubber walk order)."""
+        return list(self._blocks)
 
     def lookup(self, key: BlockKey) -> Optional[ServerBlock]:
         block = self._blocks.get(key)
@@ -145,9 +158,12 @@ class ServerFileCache:
         """The piggybackable remote reference for an exported block."""
         if block.segment is None or block.segment.revoked:
             return None
+        csum = (self.checksums.expected(block.key)
+                if self.checksums is not None else None)
         return RemoteRef(self.host.name, block.segment.base,
                          block.segment.length,
-                         capability=block.segment.capability)
+                         capability=block.segment.capability,
+                         csum=csum)
 
     def hit_ratio(self) -> float:
         hits = self.stats.get("hits")

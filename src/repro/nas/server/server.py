@@ -15,11 +15,14 @@ from ...fs.files import FileSystem
 from ...hw.host import Host
 from ...hw.nic import NotifyMode
 from ...hw.tpt import RemoteAccessFault
+from ...integrity.checksum import IntegrityError
+from ...integrity.scrub import Scrubber
+from ...integrity.store import ChecksumStore
 from ...proto.messaging import GMEndpoint
 from ...proto.rpc import RPC_HEADER_BYTES, RPCReply, RPCRequest, RPCServer
 from ...proto.udp import UDPStack
 from ...proto.vi import VIEndpoint
-from ...sim import Counter, trace_emit
+from ...sim import Counter, LatencyStats, rate_probe, trace_emit
 from ..delegation import READ, DelegationTable
 from ..locks import EXCLUSIVE, LockTable
 from .filecache import BlockKey, ServerBlock, ServerFileCache
@@ -45,6 +48,21 @@ class BaseFileServer:
         self.delegations = DelegationTable()
         self.locks = LockTable(host.sim)
         self.stats = Counter()
+        #: End-to-end integrity (``params.integrity``): checksums recorded
+        #: at write, verified wherever a consumer reads — the server here
+        #: for RPC reads, the client for ORDMA reads (via the checksum
+        #: piggybacked on each :class:`RemoteRef`). ``None``/empty when
+        #: integrity is off, so the default path pays nothing.
+        self.checksums: Optional[ChecksumStore] = None
+        self.integrity = Counter()
+        self.repair_latency = LatencyStats(f"{name}.repair_us")
+        self.scrubber: Optional[Scrubber] = None
+        ip = host.params.integrity
+        if ip.enabled:
+            self.checksums = ChecksumStore(fs)
+            cache.checksums = self.checksums
+            if ip.scrub_interval_us > 0:
+                self.scrubber = Scrubber(self)
         #: Retransmission budget for server-initiated RDMA writes when
         #: fault injection can time them out (0 = fail fast, the benign
         #: default; the injector's resilience layer raises it).
@@ -87,6 +105,8 @@ class BaseFileServer:
         for index in range(self.fs.block_count(name)):
             self.cache.insert((name, index),
                               self.fs.block_content(name, index))
+            if self.checksums is not None:
+                self.checksums.record((name, index))
 
     def _get_block(self, key: BlockKey, span=None) -> Generator:
         """Fetch one block through the cache, reading disk on a miss."""
@@ -101,7 +121,79 @@ class BaseFileServer:
         if span is not None:
             span.mark(self.host.name, "server.disk")
         data = self.fs.block_content(*key)
+        if self.disk.faults is not None:
+            # Bit rot lives on the read path: the platter access above
+            # succeeded, but decayed media hands back wrong bytes.
+            data = self.disk.faults.bitrot_payload(data)
         return self.cache.insert(key, data)
+
+    def _charge_checksum(self) -> Generator:
+        """Model the CPU cost of checksumming one cache block."""
+        ip = self.host.params.integrity
+        cost = ip.checksum_op_us + self.cache.block_size / ip.checksum_bw
+        yield from self.host.cpu.execute(cost, category="integrity")
+
+    def _get_block_verified(self, key: BlockKey, span=None) -> Generator:
+        """:meth:`_get_block` plus read-path verification when integrity
+        is enabled: a checksum mismatch runs the re-read/repair ladder and
+        raises :class:`IntegrityError` only if that too is exhausted."""
+        block = yield from self._get_block(key, span=span)
+        if self.checksums is None:
+            return block
+        yield from self._charge_checksum()
+        if self.checksums.verify(key, block.data):
+            return block
+        self.integrity.incr("detected")
+        if span is not None:
+            span.mark(self.host.name, "integrity.detect",
+                      block=f"{key[0]}#{key[1]}")
+        block = yield from self._repair_block(key, span=span)
+        return block
+
+    def _repair_block(self, key: BlockKey, span=None) -> Generator:
+        """Bounded repair ladder for a block that failed verification:
+        drop the bad copy and re-read from storage up to
+        ``params.integrity.verify_retries`` times, verifying each fill.
+        Exhaustion quarantines the block (evicted, nothing served) and
+        raises ``IntegrityError`` with an ``EINTEGRITY`` message that the
+        RPC layer surfaces as a typed error at the client."""
+        t0 = self.host.sim.now
+        retries = max(1, self.host.params.integrity.verify_retries)
+        for _ in range(retries):
+            self.cache.invalidate(key)
+            block = yield from self._get_block(key, span=span)
+            yield from self._charge_checksum()
+            if self.checksums.verify(key, block.data):
+                self.integrity.incr("repaired")
+                self.repair_latency.record(self.host.sim.now - t0)
+                if span is not None:
+                    span.mark(self.host.name, "integrity.repair",
+                              block=f"{key[0]}#{key[1]}")
+                return block
+        self.cache.invalidate(key)
+        self.integrity.incr("quarantined")
+        if span is not None:
+            span.mark(self.host.name, "integrity.quarantine",
+                      block=f"{key[0]}#{key[1]}")
+        raise IntegrityError(
+            f"EINTEGRITY {key[0]}#{key[1]}: "
+            f"repair exhausted after {retries} re-read(s)")
+
+    def integrity_gauges(self):
+        """Telemetry probes: windowed detection/repair rates (events/s),
+        read-path and scrubber combined."""
+        sim = self.host.sim
+        stats = self.integrity
+        return {
+            "detected_s": rate_probe(
+                sim, lambda: float(stats.get("detected")
+                                   + stats.get("scrub.detected")),
+                scale=1e6),
+            "repaired_s": rate_probe(
+                sim, lambda: float(stats.get("repaired")
+                                   + stats.get("scrub.repaired")),
+                scale=1e6),
+        }
 
     def _finish(self, request: RPCRequest, reply: RPCReply) -> RPCReply:
         """Attach piggybacked delegation recalls for this client."""
@@ -203,6 +295,8 @@ class BaseFileServer:
         name = request.args["name"]
         for index in range(self.fs.block_count(name)):
             self.cache.invalidate((name, index))
+        if self.checksums is not None:
+            self.checksums.forget(name)
         self.fs.remove(name)
         self.stats.incr("removes")
         return self._finish(request, RPCReply())
@@ -221,9 +315,15 @@ class BaseFileServer:
             span.mark(self.host.name, "server.fs")
         indices = self.fs.blocks_in_range(name, offset, nbytes)
         blocks: List[ServerBlock] = []
-        for index in indices:
-            block = yield from self._get_block((name, index), span=span)
-            blocks.append(block)
+        try:
+            for index in indices:
+                block = yield from self._get_block_verified((name, index),
+                                                            span=span)
+                blocks.append(block)
+        except IntegrityError as exc:
+            self.stats.incr("reads_failed_integrity")
+            return self._finish(request,
+                                RPCReply(meta={"rpc_error": str(exc)}))
         if len(blocks) > 1:
             # Gathering additional cache blocks into one transfer.
             yield from cpu.execute(0.5 * (len(blocks) - 1), category="fs")
@@ -345,9 +445,15 @@ class BaseFileServer:
             offset, nbytes = extent["offset"], extent["nbytes"]
             yield from cpu.execute(2.0, category="fs")  # per-extent setup
             blocks = []
-            for index in self.fs.blocks_in_range(name, offset, nbytes):
-                block = yield from self._get_block((name, index), span=span)
-                blocks.append(block)
+            try:
+                for index in self.fs.blocks_in_range(name, offset, nbytes):
+                    block = yield from self._get_block_verified(
+                        (name, index), span=span)
+                    blocks.append(block)
+            except IntegrityError as exc:
+                self.stats.incr("reads_failed_integrity")
+                return self._finish(request,
+                                    RPCReply(meta={"rpc_error": str(exc)}))
             payload = (blocks[0].data if len(blocks) == 1
                        else tuple(b.data for b in blocks))
             yield from cpu.execute(proto.rdma_issue_us, category="rdma")
@@ -382,6 +488,16 @@ class BaseFileServer:
                    else self.fs.blocks_in_range(name, offset, nbytes))
         for index in indices:
             data = self.fs.write_block(name, index, now=self.host.sim.now)
+            if self.checksums is not None:
+                # The reliable-metadata model: the checksum is recorded
+                # from the just-written truth, before anything on the
+                # data path can go wrong with the copy.
+                self.checksums.record((name, index))
+                yield from self._charge_checksum()
+            if self.disk.faults is not None:
+                # A misdirected write lands on the wrong sector: the
+                # stored copy is silently wrong, the RPC still succeeds.
+                data = self.disk.faults.misdirect_payload(data)
             block = self.cache.insert((name, index), data)
             if self.piggyback_refs:
                 ref = self.cache.ref_for(block)

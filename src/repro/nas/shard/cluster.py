@@ -189,6 +189,8 @@ class ShardedCluster:
             reg.register(f"{prefix}.cache", self.caches[k].stats)
             reg.register(f"{prefix}.ops", server.stats)
             reg.register(f"{prefix}.rpc", server.rpc.stats)
+            if server.checksums is not None:
+                reg.register(f"{prefix}.integrity", server.integrity)
             if self.schedulers[k] is not None:
                 reg.register(f"{prefix}.sched", self.schedulers[k].stats)
         for i, (host, router) in enumerate(zip(self.client_hosts,
@@ -219,6 +221,9 @@ class ShardedCluster:
             sampler.probe_many(f"{prefix}.nic", host.nic.gauges())
             sampler.probe_many(f"{prefix}.cache", self.caches[k].gauges())
             sampler.probe_many(f"{prefix}.rpc", server.rpc.gauges())
+            if server.checksums is not None:
+                sampler.probe_many(f"{prefix}.integrity",
+                                   server.integrity_gauges())
             if self.schedulers[k] is not None:
                 sampler.probe_many(f"{prefix}.sched",
                                    self.schedulers[k].gauges())

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ...params import ShardParams
 
@@ -121,6 +121,22 @@ class HashPlacement(Placement):
                 if len(chain) > self.replicas:
                     break
         return tuple(chain)
+
+
+def shard_config_error(shard: ShardParams, seed: int = 0) -> Optional[str]:
+    """A human-readable reason ``shard`` cannot be wired, or ``None``.
+
+    CLI entry points call this *before* building a
+    :class:`~repro.nas.shard.cluster.ShardedCluster`, so a bad
+    combination (``replicas >= n_servers``, zero stripe unit, unknown
+    placement, ...) surfaces as one clear message and a nonzero exit
+    instead of a traceback from deep inside cluster wiring.
+    """
+    try:
+        make_placement(shard, seed)
+    except ValueError as exc:
+        return str(exc)
+    return None
 
 
 def make_placement(shard: ShardParams, seed: int) -> Placement:

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ...hw.host import Host
+from ...integrity.checksum import IntegrityError
 from ...proto.rpc import RPCTimeoutError
 from ...sim import Counter, Span
 from ..client.base import NASClient
@@ -135,14 +136,22 @@ class ShardRouter:
     # -- failover-aware dispatch -------------------------------------------
 
     def _call_chain(self, chain: Tuple[int, ...], attempt: _Attempt,
-                    op: str, name: str,
-                    span: Optional[Span] = None) -> Generator:
+                    op: str, name: str, span: Optional[Span] = None,
+                    repair: Optional[Callable[[Any, List[int]],
+                                              Generator]] = None) -> Generator:
         """Run ``attempt`` against the first live server in ``chain``.
 
         A timeout marks the target down and moves to the next chain
-        entry; exhausting the chain raises :class:`ShardDownError`.
+        entry. An :class:`IntegrityError` also moves on — the server is
+        perfectly alive, its copy of the data is rotten — but does *not*
+        mark the shard down; instead the target is remembered and, once a
+        later replica returns good data, ``repair(result, bad_targets)``
+        is run to write that data back (read-repair). Exhausting the
+        chain raises ``IntegrityError`` if every live member failed
+        verification, :class:`ShardDownError` otherwise.
         """
         attempted = False
+        bad: List[int] = []
         for pos, target in enumerate(chain):
             if self.is_down(target):
                 continue
@@ -161,10 +170,24 @@ class ShardRouter:
                 self._mark_down(target, span)
                 self.stats.incr("timeouts")
                 continue
+            except IntegrityError:
+                attempted = True
+                bad.append(target)
+                self.stats.incr("integrity_errors")
+                if span is not None:
+                    span.mark(self.host.name, "integrity.reroute",
+                              shard=target)
+                continue
             if attempted:
                 # This very call hit the timeout and recovered downstream.
                 self.stats.incr("failovers")
+            if bad and repair is not None:
+                yield from repair(result, bad)
             return result
+        if bad:
+            raise IntegrityError(
+                f"EINTEGRITY shard {chain[0]} ({op} {name!r}): every live "
+                f"replica failed verification")
         raise ShardDownError(chain[0], op, name)
 
     def _chain(self, name: str, block: int = 0) -> Tuple[int, ...]:
@@ -263,9 +286,23 @@ class ShardRouter:
                       slot: int, span: Optional[Span]) -> Generator:
         first_block = offset // self.block_size
         chain = self.placement.replica_chain(name, first_block)
+
+        def read_repair(result: Any, bad: List[int]) -> Generator:
+            # Write the verified replica copy back over each rotten one:
+            # the write path re-records the checksum from fresh truth, so
+            # the quarantined server serves good data again without
+            # waiting for its scrubber.
+            for target in bad:
+                yield from self.subclients[target].write(name, offset,
+                                                         nbytes)
+                self.stats.incr("read_repairs")
+                if span is not None:
+                    span.mark(self.host.name, "integrity.repair",
+                              shard=target)
+
         data = yield from self._call_chain(
             chain, lambda t: self.subclients[t].read(name, offset, nbytes),
-            "read", name, span=span)
+            "read", name, span=span, repair=read_repair)
         sink[slot] = self._as_blocks(data, n_blocks)
 
     def read(self, name: str, offset: int, nbytes: int,

@@ -282,6 +282,41 @@ class ShardParams:
 
 
 @dataclass
+class IntegrityParams:
+    """End-to-end block checksums and the background scrubber.
+
+    Section 5 notes the testbed offloads checksums to the NIC; this block
+    models what checksums *buy*: detection of silent corruption (disk bit
+    rot, misdirected writes, in-flight ORDMA corruption) that every other
+    fault path would pass through to the application as clean data. Off
+    by default (``enabled=False``): the seed data path charges no
+    checksum cost and performs no verification, bit for bit.
+
+    When enabled, the server computes a per-block checksum at write (and
+    cache warm) time, verifies blocks it serves over RPC, and attaches
+    the expected checksum to every exported ORDMA reference so *clients*
+    can verify direct reads the server CPU never sees.
+    """
+
+    #: Master switch: compute/verify block checksums end to end.
+    enabled: bool = False
+    #: Fixed CPU cost to dispatch one block checksum (setup + compare).
+    checksum_op_us: float = 0.4
+    #: Checksum throughput over the block payload, bytes/us. Software
+    #: CRC32C on a P-III-class core; the NIC-offload configurations of
+    #: Section 5 would raise this toward the copy bandwidth.
+    checksum_bw: float = 1500.0
+    #: Disk re-reads attempted for a block that failed verification
+    #: before the server quarantines it (EINTEGRITY to the client).
+    verify_retries: int = 2
+    #: Background scrubber wake-up period in sim-us; 0 disables the
+    #: scrubber (verification then happens only on reads).
+    scrub_interval_us: float = 0.0
+    #: Cached blocks verified per scrubber wake-up.
+    scrub_blocks_per_pass: int = 8
+
+
+@dataclass
 class Params:
     """Aggregate testbed parameters (one per simulated experiment)."""
 
@@ -292,6 +327,7 @@ class Params:
     storage: StorageParams = field(default_factory=StorageParams)
     sched: SchedParams = field(default_factory=SchedParams)
     shard: ShardParams = field(default_factory=ShardParams)
+    integrity: IntegrityParams = field(default_factory=IntegrityParams)
     #: Master seed for every component RNG stream (determinism).
     seed: int = 2003
 
@@ -305,6 +341,7 @@ class Params:
             "storage": replace(self.storage),
             "sched": replace(self.sched),
             "shard": replace(self.shard),
+            "integrity": replace(self.integrity),
             "seed": self.seed,
         }
         fields.update(overrides)

@@ -26,6 +26,10 @@ class RemoteRef:
     addr: int          #: virtual address in the server's export space
     nbytes: int        #: length of the exported block
     capability: Optional[bytes] = None
+    #: Expected block checksum, piggybacked when the server runs with
+    #: ``params.integrity`` so the *client* can vet direct reads the
+    #: server CPU never sees; ``None`` when integrity is off.
+    csum: Optional[int] = None
 
     def __post_init__(self):
         if self.nbytes <= 0:

@@ -21,6 +21,7 @@ from ..fs.disk import DiskError
 from ..hw.host import Host
 from ..hw.memory import Buffer
 from ..hw.tpt import RemoteAccessFault
+from ..integrity.checksum import IntegrityError
 from ..net.packet import Message
 from ..sim import Counter, Event, rate_probe, trace_emit
 
@@ -267,7 +268,14 @@ class RPCClient:
         if span is not None:
             span.mark(self.host.name, "rpc.unmarshal")
         if "rpc_error" in response.meta:
-            raise RPCError(response.meta["rpc_error"])
+            message = response.meta["rpc_error"]
+            if message.startswith("EINTEGRITY"):
+                # The server detected checksum-verified corruption it
+                # could not repair: a typed error, so resilience layers
+                # can distinguish "data is bad here" (try a replica)
+                # from "server is unreachable" (mark it down).
+                raise IntegrityError(message)
+            raise RPCError(message)
         return response
 
     def _await_with_retry(self, xid: int, done: Event, proc: str,

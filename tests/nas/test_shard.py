@@ -282,6 +282,105 @@ class TestFailover:
         assert not router.is_down(0)
 
 
+class TestBroadcastUnderCrash:
+    """Namespace broadcasts (`_broadcast`/`_swallow_timeout`) and the
+    home-shard paths (open/close/lock) when a shard dies mid-run."""
+
+    def test_create_broadcast_survives_a_crashed_shard(self):
+        c = make_cluster(system="nfs", n_servers=3)
+        inj = Injector(c)
+        inj.enable_resilience(timeout_us=2000.0, max_retries=2)
+        inj.schedule_server_crash(FaultSchedule.at([1000.0]),
+                                  downtime_us=1e6, shard=0)
+        inj.arm()
+        router = c.clients[0]
+
+        def wl():
+            yield c.sim.timeout(3000.0)   # crash lands first
+            yield from router.create("new", 2 * c.block_size)
+        c.sim.run_process(wl())
+        # The dead shard's timeout is swallowed (and down-marks it); the
+        # live shards all got the create. (The run itself ends at the
+        # server's restart, long past the down-cooldown, so we assert
+        # the mark, not is_down.)
+        assert router.stats.get("creates") == 1
+        assert router.stats.get("timeouts") >= 1
+        assert router.stats.get("down_marks") >= 1
+        assert not c.filesystems[0].exists("new")
+        assert c.filesystems[1].exists("new")
+        assert c.filesystems[2].exists("new")
+
+    def test_broadcast_skips_a_shard_already_marked_down(self):
+        c = make_cluster(system="nfs", n_servers=3)
+        router = c.clients[0]
+        router._down_until[0] = 1e12   # inside its cooldown window
+
+        def wl():
+            yield from router.create("new", 2 * c.block_size)
+        c.sim.run_process(wl())
+        # No RPC was even attempted against the down shard: no timeout
+        # burned, and its namespace never saw the create.
+        assert router.stats.get("timeouts") == 0
+        assert not c.filesystems[0].exists("new")
+        assert c.filesystems[1].exists("new")
+        assert c.filesystems[2].exists("new")
+
+    def test_broadcast_with_every_shard_down_raises_typed(self):
+        c = make_cluster(system="nfs", n_servers=2)
+        router = c.clients[0]
+        for shard in range(2):
+            router._down_until[shard] = 1e12
+        with pytest.raises(ShardDownError):
+            c.sim.run_process(router.create("new", c.block_size))
+
+    def test_close_swallows_timeout_after_home_crash(self):
+        # Two conflicting write-opens: the second client is denied a
+        # delegation, so its close must go over RPC — into the crash.
+        c = make_cluster(system="nfs", n_servers=2, n_clients=2)
+        c.create_file("f", 2 * c.block_size)
+        home = c.placement.shard_of("f", 0)
+        inj = Injector(c)
+        inj.enable_resilience(timeout_us=2000.0, max_retries=2)
+        inj.schedule_server_crash(FaultSchedule.at([1000.0]),
+                                  downtime_us=1e6, shard=home)
+        inj.arm()
+        holder, closer = c.clients
+
+        def wl():
+            yield from holder.open("f", mode="write")
+            yield from closer.open("f", mode="write")  # no delegation
+            yield c.sim.timeout(3000.0)   # the home shard crashes
+            yield from closer.close("f")
+        c.sim.run_process(wl())
+        # The close completed: the crashed server's open state died with
+        # it, so the timeout is swallowed rather than surfaced.
+        assert closer.stats.get("closes") == 1
+        assert closer.stats.get("timeouts") >= 1
+        assert closer.stats.get("down_marks") >= 1
+
+    def test_lock_on_a_dead_home_without_replicas_is_typed(self):
+        c = make_cluster(system="nfs", n_servers=2, replicas=0)
+        c.create_file("f", 2 * c.block_size)
+        home = c.placement.shard_of("f", 0)
+        inj = Injector(c)
+        inj.enable_resilience(timeout_us=2000.0, max_retries=2)
+        inj.schedule_server_crash(FaultSchedule.at([1000.0]),
+                                  downtime_us=1e6, shard=home)
+        inj.arm()
+        router = c.clients[0]
+        caught = {}
+
+        def wl():
+            yield c.sim.timeout(3000.0)
+            try:
+                yield from router.lock("f")
+            except ShardDownError as e:
+                caught["err"] = e
+        c.sim.run_process(wl())
+        assert caught["err"].shard == home
+        assert caught["err"].op == "lock"
+
+
 class TestResetContract:
     def test_sharded_reset_zeroes_rpc_sessions(self):
         c = make_cluster(n_servers=2)
